@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Fig. 4 and Table II (SIMD-processor results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig4, table2
+
+
+def test_fig4_simd_energy_per_word(benchmark):
+    """Fig. 4: SIMD processor energy per word vs precision for SW = 8 and 64."""
+    rows = benchmark(lambda: fig4.run(simd_widths=(8, 64), input_length=40, taps=7))
+    print()
+    from repro.analysis.reporting import format_table
+
+    print(format_table(rows, title="Fig. 4"))
+    by_key = {
+        (r["simd_width"], r["technique"], r["precision"]): r["relative_energy_per_word"]
+        for r in rows
+    }
+    # ~85 % reduction at 4x4b (paper) and DVAFS < DVAS < DAS at every SW.
+    assert by_key[(8, "DVAFS", 4)] < 0.2
+    assert by_key[(8, "DVAFS", 4)] < by_key[(8, "DVAS", 4)] < by_key[(8, "DAS", 4)]
+    assert by_key[(64, "DVAFS", 4)] < by_key[(64, "DVAS", 4)]
+
+
+def test_table2_power_distribution(benchmark):
+    """Table II: per-domain power split of the SW = 8 and SW = 64 processors."""
+    rows = benchmark(lambda: table2.run(simd_widths=(8, 64), input_length=40, taps=7))
+    print()
+    print(table2.report(simd_widths=(8, 64), input_length=40, taps=7))
+    sw8 = {row["mode"]: row for row in rows if row["SW"] == 8}
+    assert sw8["1x16b"]["P [mW]"] == pytest.approx(36.0, rel=0.05)
+    assert sw8["4x4b"]["P [mW]"] < 10.0
+    # Memory becomes the dominant consumer in the 4x4b mode (47 % in the paper).
+    assert sw8["4x4b"]["mem %"] > sw8["1x16b"]["mem %"]

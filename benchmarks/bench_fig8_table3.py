@@ -1,0 +1,43 @@
+"""Benchmarks regenerating Fig. 8 and Table III (Envision results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8, table3
+
+
+def test_fig8_envision_energy_curves(benchmark):
+    """Fig. 8: Envision energy per word at constant frequency and constant throughput."""
+    rows = benchmark(fig8.run)
+    print()
+    print(fig8.report())
+    gains = fig8.headline_gains(rows)
+    # Paper: 6.9x over DAS and 4.1x over DVAS at 4x4b constant throughput.
+    assert 4.0 <= gains["dvafs_vs_das_4b"] <= 11.0
+    assert 2.5 <= gains["dvafs_vs_dvas_4b"] <= 7.0
+
+
+def test_table3_cnn_benchmarks_on_envision(benchmark):
+    """Table III: per-layer power/efficiency of VGG16, AlexNet and LeNet-5."""
+    rows = benchmark(table3.run)
+    print()
+    print(table3.report())
+    totals = {str(row["layer"]).replace(" TOTAL", ""): row for row in rows if "TOTAL" in str(row["layer"])}
+    # Paper totals: VGG16 26 mW / 2 TOPS/W, AlexNet 44 mW / 1.8, LeNet-5 25 mW / 3.
+    assert totals["AlexNet"]["P [mW]"] == pytest.approx(44.0, rel=0.5)
+    assert totals["LeNet-5"]["Eff [TOPS/W]"] > totals["AlexNet"]["Eff [TOPS/W]"]
+    assert totals["VGG16"]["Eff [TOPS/W]"] == pytest.approx(2.0, rel=0.8)
+
+
+def test_table3_from_substrate(benchmark):
+    """Table III regenerated from our own CNN substrate instead of the published profile."""
+    rows = benchmark.pedantic(lambda: table3.run(from_substrate=True), rounds=1, iterations=1)
+    print()
+    from repro.analysis.reporting import format_table
+
+    print(format_table(rows, title="Table III (workloads regenerated from the CNN substrate)"))
+    totals = [row for row in rows if "TOTAL" in str(row["layer"])]
+    assert len(totals) == 3
+    for row in totals:
+        assert float(row["Eff [TOPS/W]"]) > 0.5

@@ -1,0 +1,64 @@
+"""Benchmarks regenerating Table I, Fig. 2 and Fig. 3 (multiplier-level results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scaling import characterize_multiplier
+from repro.experiments import fig2, fig3, table1
+
+SAMPLES = 200
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    """Shared multiplier characterisation reused by the three benchmarks."""
+    return characterize_multiplier(samples=SAMPLES, seed=2017)
+
+
+def test_table1_scaling_parameters(benchmark, characterization):
+    """Table I: re-extract k0..k5 and N from the structural multiplier."""
+    rows = benchmark(lambda: table1.run(characterization=characterization))
+    print()
+    print(table1.report(characterization=characterization))
+    by_precision = {row["precision"]: row for row in rows}
+    assert by_precision[4]["N"] == 4
+    assert by_precision[8]["N"] == 2
+    assert by_precision[4]["k3"] == pytest.approx(3.2, rel=0.5)
+
+
+def test_fig2_frequency_slack_voltage_activity(benchmark, characterization):
+    """Fig. 2: frequency, slack, voltage and activity vs precision."""
+    rows = benchmark(lambda: fig2.run(characterization=characterization))
+    print()
+    print(fig2.report(characterization=characterization))
+    by_precision = {row["precision"]: row for row in rows}
+    assert by_precision[4]["frequency_mhz (2a)"] == 125.0
+    assert 5.0 <= by_precision[4]["dvafs_slack_ns (2b)"] <= 7.6
+    assert by_precision[4]["dvafs_voltage (2c)"] <= 0.8
+
+
+def test_fig3a_energy_accuracy_curves(benchmark, characterization):
+    """Fig. 3a: DAS/DVAS/DVAFS energy per word, normalised to the 16 b baseline."""
+    rows = benchmark(lambda: fig3.run_fig3a(characterization=characterization))
+    print()
+    from repro.analysis.reporting import format_table
+
+    print(format_table(rows, title="Fig. 3a"))
+    by_key = {(r["technique"], r["precision"]): r["relative_energy"] for r in rows}
+    assert by_key[("DVAFS", 4)] < 0.08          # >95 % savings (paper: >95 %)
+    assert 1.1 < by_key[("DVAFS", 16)] < 1.35   # reconfiguration overhead (paper: 21 %)
+
+
+def test_fig3b_baseline_comparison(benchmark, characterization):
+    """Fig. 3b: DVAFS vs approximate-computing baselines on an energy/RMSE plane."""
+    rows = benchmark(
+        lambda: fig3.run_fig3b(characterization=characterization, rmse_samples=600)
+    )
+    print()
+    from repro.analysis.reporting import format_table
+
+    print(format_table(rows, title="Fig. 3b"))
+    dvafs_min = min(r["relative_energy"] for r in rows if r["scheme"] == "DVAFS")
+    baseline_min = min(r["relative_energy"] for r in rows if r["scheme"] != "DVAFS")
+    assert dvafs_min < baseline_min

@@ -1,0 +1,68 @@
+"""Quickstart: the DVAFS energy-accuracy trade-off in a dozen lines.
+
+Characterises the precision-scalable Booth-Wallace multiplier, prints the
+extracted Table-I scaling parameters and the DAS / DVAS / DVAFS energy
+curves, and shows how an operating point is picked for a given precision
+requirement.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import characterize_multiplier, multiplier_energy_curves
+from repro.analysis import format_table
+from repro.core import PrecisionRequirement, PrecisionScheduler
+from repro.core.operating_point import operating_points_from_characterization
+
+
+def main() -> None:
+    # 1. Characterise the multiplier (activity, critical paths, voltages).
+    characterization = characterize_multiplier(samples=300)
+    print(f"16b baseline energy: {characterization.baseline_energy_per_word_pj:.2f} pJ/word\n")
+
+    # 2. Table I: the extracted k factors and subword parallelism.
+    rows = [
+        {
+            "precision": precision,
+            "k0": round(row.k0, 2),
+            "k2": round(row.k2, 2),
+            "k3": round(row.k3, 2),
+            "k4": round(row.k4, 2),
+            "N": row.parallelism,
+        }
+        for precision, row in sorted(characterization.scaling_parameters().items(), reverse=True)
+    ]
+    print(format_table(rows, title="Extracted scaling parameters (Table I)"))
+
+    # 3. Fig. 3a: energy per word of DAS, DVAS and DVAFS vs precision.
+    curves = [
+        {
+            "technique": point.technique,
+            "precision": point.precision,
+            "relative_energy": round(point.relative_energy, 3),
+            "V_as": round(point.voltage_as, 2),
+            "f [MHz]": point.frequency_mhz,
+        }
+        for point in multiplier_energy_curves(characterization)
+    ]
+    print(format_table(curves, title="Energy per word, normalised to the plain 16b multiplier (Fig. 3a)"))
+
+    # 4. Pick the cheapest operating point for a task that needs 6 bits.
+    points = operating_points_from_characterization(characterization)["DVAFS"]
+    energies = {
+        point.precision: point_energy
+        for point, point_energy in zip(
+            points,
+            [p.relative_energy for p in multiplier_energy_curves(characterization) if p.technique == "DVAFS"],
+        )
+    }
+    scheduler = PrecisionScheduler(points, lambda p: energies[p.precision])
+    task = scheduler.select(PrecisionRequirement("feature-extraction", required_bits=6))
+    print(
+        f"A 6-bit task runs in the {task.operating_point.mode_label} mode at "
+        f"{task.operating_point.frequency_mhz:.0f} MHz / {task.operating_point.as_voltage:.2f} V, "
+        f"costing {task.energy_per_operation_pj:.3f}x the 16b baseline energy per word."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""DVAFS reproduction library.
+
+A from-scratch Python implementation of the systems described in
+
+    Moons, Uytterhoeven, Dehaene, Verhelst,
+    "DVAFS: Trading Computational Accuracy for Energy Through
+    Dynamic-Voltage-Accuracy-Frequency-Scaling", DATE 2017.
+
+Subpackages
+-----------
+``repro.arithmetic``
+    Fixed point, structural Booth-Wallace multipliers (DAS/DVAS), the
+    subword-parallel DVAFS multiplier, MAC units and the approximate
+    multiplier baselines of Fig. 3b.
+``repro.circuit``
+    Technology corners, alpha-power-law delay, energy, voltage scaling and
+    power domains.
+``repro.core``
+    The DVAFS power equations, scaling-parameter extraction (Table I),
+    operating points, precision scheduling and Pareto analysis.
+``repro.simd``
+    The DVAFS-compatible SIMD RISC vector processor of Section III-B
+    (ISA, assembler, cycle-level simulator, calibrated power model).
+``repro.nn``
+    The CNN substrate: layers, LeNet-5/AlexNet/VGG16 topologies, synthetic
+    datasets, training, quantisation search and sparsity analysis.
+``repro.envision``
+    The Envision CNN-processor model of Section V.
+``repro.experiments``
+    One driver per table/figure of the paper's evaluation.
+"""
+
+from . import analysis, arithmetic, circuit, core, envision, experiments, nn, simd
+from .arithmetic import BoothWallaceMultiplier, MacUnit, SubwordParallelMultiplier
+from .circuit import TECH_28NM_FDSOI, TECH_40NM_LP_LVT, Technology
+from .core import (
+    DvafsSystem,
+    OperatingPoint,
+    PAPER_TABLE_I,
+    PrecisionScheduler,
+    ScalingParameters,
+    characterize_multiplier,
+    multiplier_energy_curves,
+)
+from .envision import EnvisionChip, EnvisionScheduler
+from .nn import Network, PrecisionSearch, alexnet, lenet5, vgg16
+from .simd import SimdPowerModel, SimdProcessor, convolution_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "arithmetic",
+    "circuit",
+    "core",
+    "envision",
+    "experiments",
+    "nn",
+    "simd",
+    "BoothWallaceMultiplier",
+    "MacUnit",
+    "SubwordParallelMultiplier",
+    "TECH_28NM_FDSOI",
+    "TECH_40NM_LP_LVT",
+    "Technology",
+    "DvafsSystem",
+    "OperatingPoint",
+    "PAPER_TABLE_I",
+    "PrecisionScheduler",
+    "ScalingParameters",
+    "characterize_multiplier",
+    "multiplier_energy_curves",
+    "EnvisionChip",
+    "EnvisionScheduler",
+    "Network",
+    "PrecisionSearch",
+    "alexnet",
+    "lenet5",
+    "vgg16",
+    "SimdPowerModel",
+    "SimdProcessor",
+    "convolution_kernel",
+    "__version__",
+]

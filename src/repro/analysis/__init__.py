@@ -1,0 +1,32 @@
+"""Analysis utilities: metrics, parameter sweeps and result reporting."""
+
+from .metrics import (
+    EfficiencyReport,
+    classification_accuracy,
+    relative_accuracy,
+    relative_rmse,
+    rmse,
+    snr_db,
+    top1_agreement,
+    tops_per_watt,
+)
+from .reporting import curve_to_rows, format_table, format_value, to_csv, write_csv
+from .sweep import SweepResult, parameter_sweep
+
+__all__ = [
+    "EfficiencyReport",
+    "classification_accuracy",
+    "relative_accuracy",
+    "relative_rmse",
+    "rmse",
+    "snr_db",
+    "top1_agreement",
+    "tops_per_watt",
+    "curve_to_rows",
+    "format_table",
+    "format_value",
+    "to_csv",
+    "write_csv",
+    "SweepResult",
+    "parameter_sweep",
+]

@@ -1,0 +1,52 @@
+"""Generic parameter-sweep helper used by the experiment drivers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a parameter sweep: one record per parameter combination."""
+
+    records: list[dict[str, object]] = field(default_factory=list)
+
+    def filter(self, **conditions: object) -> "SweepResult":
+        """Records matching every ``key=value`` condition."""
+        kept = [
+            record
+            for record in self.records
+            if all(record.get(key) == value for key, value in conditions.items())
+        ]
+        return SweepResult(records=kept)
+
+    def column(self, name: str) -> list[object]:
+        """Values of one column across all records."""
+        return [record[name] for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def parameter_sweep(
+    parameters: Mapping[str, Iterable[object]],
+    evaluate: Callable[..., Mapping[str, object]],
+) -> SweepResult:
+    """Evaluate ``evaluate(**combination)`` over the Cartesian parameter grid.
+
+    Each record contains the swept parameters plus whatever the evaluation
+    returns; evaluation outputs win on key collisions.
+    """
+    names = list(parameters)
+    result = SweepResult()
+    for combination in itertools.product(*(parameters[name] for name in names)):
+        assignment = dict(zip(names, combination))
+        outcome = dict(evaluate(**assignment))
+        record = {**assignment, **outcome}
+        result.records.append(record)
+    return result

@@ -1,0 +1,113 @@
+"""Radix-4 (modified) Booth recoding and partial-product generation.
+
+The paper's multiplier is a Booth-encoded Wallace-tree design.  Radix-4 Booth
+recoding halves the number of partial products: a ``w``-bit signed multiplier
+is recoded into ``ceil(w / 2)`` digits in ``{-2, -1, 0, +1, +2}``, each of
+which selects a (possibly negated / shifted) copy of the multiplicand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fixed_point import signed_range
+
+#: Valid radix-4 Booth digit values.
+BOOTH_DIGITS = (-2, -1, 0, 1, 2)
+
+
+def booth_digit_count(width: int) -> int:
+    """Number of radix-4 Booth digits for a ``width``-bit signed operand."""
+    if width < 2:
+        raise ValueError("width must be at least 2")
+    return (width + 1) // 2
+
+
+def booth_recode(value: int, width: int) -> list[int]:
+    """Recode a signed ``width``-bit integer into radix-4 Booth digits.
+
+    The returned list is least-significant digit first and satisfies
+    ``sum(d * 4**i for i, d in enumerate(digits)) == value``.
+    """
+    lo, hi = signed_range(width)
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} does not fit in {width} signed bits")
+
+    def bit(index: int) -> int:
+        if index < 0:
+            return 0
+        if index >= width:
+            # sign extension
+            return (value >> (width - 1)) & 1
+        return (value >> index) & 1
+
+    digits = []
+    for i in range(booth_digit_count(width)):
+        low = bit(2 * i - 1)
+        mid = bit(2 * i)
+        high = bit(2 * i + 1)
+        digit = -2 * high + mid + low
+        digits.append(digit)
+    return digits
+
+
+def booth_decode(digits: list[int]) -> int:
+    """Inverse of :func:`booth_recode`: reassemble the signed value."""
+    value = 0
+    for index, digit in enumerate(digits):
+        if digit not in BOOTH_DIGITS:
+            raise ValueError(f"invalid Booth digit {digit}")
+        value += digit * (4**index)
+    return value
+
+
+def digit_to_code(digit: int) -> int:
+    """Encode a Booth digit as a 3-bit control code (neg, two, one).
+
+    The code mirrors the control lines of a hardware Booth selector row and
+    is used for toggle counting of the encoder stage.
+    """
+    if digit not in BOOTH_DIGITS:
+        raise ValueError(f"invalid Booth digit {digit}")
+    neg = 1 if digit < 0 else 0
+    two = 1 if abs(digit) == 2 else 0
+    one = 1 if abs(digit) == 1 else 0
+    return (neg << 2) | (two << 1) | one
+
+
+@dataclass(frozen=True)
+class PartialProduct:
+    """One Booth partial product, already shifted into product position.
+
+    Attributes
+    ----------
+    value:
+        Signed integer value of the partial product (digit * multiplicand *
+        4**index).
+    digit:
+        The Booth digit that generated it.
+    index:
+        Digit index (0 = least significant).
+    """
+
+    value: int
+    digit: int
+    index: int
+
+
+def generate_partial_products(
+    multiplicand: int, multiplier: int, width: int
+) -> list[PartialProduct]:
+    """Booth partial products of ``multiplicand * multiplier``.
+
+    Both operands are signed ``width``-bit integers.  The sum of the returned
+    partial-product values equals the exact product.
+    """
+    lo, hi = signed_range(width)
+    if not lo <= multiplicand <= hi:
+        raise ValueError(f"multiplicand {multiplicand} does not fit in {width} bits")
+    digits = booth_recode(multiplier, width)
+    return [
+        PartialProduct(value=digit * multiplicand * (4**index), digit=digit, index=index)
+        for index, digit in enumerate(digits)
+    ]

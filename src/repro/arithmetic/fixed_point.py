@@ -1,0 +1,209 @@
+"""Signed fixed-point codecs, precision gating and subword packing.
+
+All DVAFS precision scaling in the paper happens on two's-complement
+fixed-point words: the accelerator keeps a fixed physical word width (e.g.
+16 bit) and *gates* or *rounds away* a variable number of least-significant
+bits at run time.  This module provides the bit-exact primitives for that:
+
+* value <-> two's-complement conversions,
+* truncation and round-to-nearest precision reduction,
+* quantisation of real numbers to ``Qm.n`` fixed point,
+* packing / unpacking of N subwords into one physical word for the
+  subword-parallel (DVAFS) datapaths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def signed_range(bits: int) -> tuple[int, int]:
+    """Inclusive (min, max) representable range of a signed ``bits``-bit word."""
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+
+
+def clamp_signed(value: int, bits: int) -> int:
+    """Saturate ``value`` into the signed ``bits``-bit range."""
+    lo, hi = signed_range(bits)
+    return min(max(int(value), lo), hi)
+
+
+def wrap_signed(value: int, bits: int) -> int:
+    """Wrap ``value`` into the signed ``bits``-bit range (two's complement)."""
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def to_twos_complement(value: int, bits: int) -> int:
+    """Encode a signed integer as an unsigned two's-complement pattern."""
+    lo, hi = signed_range(bits)
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def from_twos_complement(pattern: int, bits: int) -> int:
+    """Decode an unsigned two's-complement pattern into a signed integer."""
+    if pattern < 0 or pattern >= (1 << bits):
+        raise ValueError(f"pattern {pattern} is not a {bits}-bit unsigned value")
+    return wrap_signed(pattern, bits)
+
+
+def truncate_lsbs(value: int, bits: int, active_bits: int) -> int:
+    """Zero the ``bits - active_bits`` least-significant bits of ``value``.
+
+    This is the DAS precision-gating operation: the gated LSBs are forced to
+    zero so the corresponding logic never toggles.  The magnitude of the
+    value is preserved (the result is still expressed on ``bits`` bits).
+    """
+    _check_active_bits(bits, active_bits)
+    drop = bits - active_bits
+    if drop == 0:
+        return clamp_signed(value, bits)
+    pattern = to_twos_complement(clamp_signed(value, bits), bits)
+    pattern &= ~((1 << drop) - 1)
+    return from_twos_complement(pattern, bits)
+
+
+def round_lsbs(value: int, bits: int, active_bits: int) -> int:
+    """Round ``value`` to ``active_bits`` of precision (round half away from zero).
+
+    Compared to truncation this keeps the quantisation error zero-mean, at
+    the cost of one extra adder row in hardware; the trade-off is examined by
+    the rounding ablation benchmark.
+    """
+    _check_active_bits(bits, active_bits)
+    drop = bits - active_bits
+    if drop == 0:
+        return clamp_signed(value, bits)
+    value = clamp_signed(value, bits)
+    step = 1 << drop
+    if value >= 0:
+        rounded = ((value + step // 2) // step) * step
+    else:
+        rounded = -((-value + step // 2) // step) * step
+    return clamp_signed(rounded, bits)
+
+
+def _check_active_bits(bits: int, active_bits: int) -> None:
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    if not 1 <= active_bits <= bits:
+        raise ValueError(
+            f"active_bits must be in [1, {bits}], got {active_bits}"
+        )
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A ``Q(integer_bits).(fraction_bits)`` signed fixed-point format.
+
+    ``total_bits = integer_bits + fraction_bits`` includes the sign bit in
+    ``integer_bits`` (so ``Q1.7`` is an 8-bit format covering [-1, 1)).
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 1:
+            raise ValueError("integer_bits must be at least 1 (sign bit)")
+        if self.fraction_bits < 0:
+            raise ValueError("fraction_bits must be non-negative")
+
+    @property
+    def total_bits(self) -> int:
+        """Total word width including the sign bit."""
+        return self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** (-self.fraction_bits)
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return signed_range(self.total_bits)[0] * self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return signed_range(self.total_bits)[1] * self.scale
+
+    def quantize(self, value: float) -> int:
+        """Quantise a real value to the nearest representable integer code."""
+        code = int(np.round(value / self.scale))
+        return clamp_signed(code, self.total_bits)
+
+    def dequantize(self, code: int) -> float:
+        """Convert an integer code back to its real value."""
+        return code * self.scale
+
+    def quantize_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised quantisation of a numpy array to integer codes."""
+        lo, hi = signed_range(self.total_bits)
+        codes = np.round(np.asarray(values, dtype=np.float64) / self.scale)
+        return np.clip(codes, lo, hi).astype(np.int64)
+
+    def dequantize_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised dequantisation of integer codes to real values."""
+        return np.asarray(codes, dtype=np.float64) * self.scale
+
+    def quantization_error(self, values: np.ndarray) -> np.ndarray:
+        """Element-wise quantisation error (dequantised - original)."""
+        values = np.asarray(values, dtype=np.float64)
+        return self.dequantize_array(self.quantize_array(values)) - values
+
+
+def pack_subwords(values: list[int], subword_bits: int) -> int:
+    """Pack signed subwords into one unsigned physical-word bit pattern.
+
+    ``values[0]`` occupies the least-significant subword.  This mirrors the
+    operand packing of the subword-parallel DVAFS multiplier (Fig. 1b).
+    """
+    if subword_bits < 1:
+        raise ValueError("subword_bits must be at least 1")
+    pattern = 0
+    for index, value in enumerate(values):
+        pattern |= to_twos_complement(value, subword_bits) << (index * subword_bits)
+    return pattern
+
+
+def unpack_subwords(pattern: int, subword_bits: int, count: int) -> list[int]:
+    """Unpack ``count`` signed subwords from a physical-word bit pattern."""
+    if subword_bits < 1:
+        raise ValueError("subword_bits must be at least 1")
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    mask = (1 << subword_bits) - 1
+    return [
+        from_twos_complement((pattern >> (index * subword_bits)) & mask, subword_bits)
+        for index in range(count)
+    ]
+
+
+def quantization_rmse(bits: int, values: np.ndarray, *, full_scale: float = 1.0) -> float:
+    """Root-mean-square quantisation error of ``values`` at ``bits`` precision.
+
+    Values are assumed to live in ``[-full_scale, full_scale)``; the format
+    used is ``Q1.(bits-1)`` scaled by ``full_scale``.  This is the metric
+    used on the x-axis of Fig. 3b.
+    """
+    if bits < 1:
+        raise ValueError("bits must be at least 1")
+    if full_scale <= 0:
+        raise ValueError("full_scale must be positive")
+    fmt = FixedPointFormat(integer_bits=1, fraction_bits=bits - 1)
+    scaled = np.asarray(values, dtype=np.float64) / full_scale
+    error = fmt.quantization_error(scaled) * full_scale
+    return float(np.sqrt(np.mean(error**2)))

@@ -1,0 +1,219 @@
+"""Precision-scalable multiply-accumulate (MAC) unit.
+
+The processing elements of both the SIMD processor (Section III-B) and the
+Envision chip (Section V) are MACs built around the subword-parallel DVAFS
+multiplier.  This model adds the accumulator register and adder on top of
+:class:`~repro.arithmetic.subword.SubwordParallelMultiplier`, including the
+*guarding* mechanism used for sparsity: when one of the operands is zero the
+multiplier inputs are not clocked, so the operation costs (almost) no energy
+-- the mechanism behind the ">10 TOPS/W for sparse CONV layers" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.technology import TECH_40NM_LP_LVT, Technology
+from .fixed_point import wrap_signed
+from .gates import cell_cost, popcount, to_bits
+from .multiplier import ActivityReport
+from .subword import SubwordMode, SubwordParallelMultiplier
+
+
+@dataclass
+class MacStatistics:
+    """Operation counts of a MAC stream.
+
+    Attributes
+    ----------
+    operations:
+        Total multiply-accumulate operations requested.
+    guarded:
+        Operations skipped by zero-guarding (at least one operand was zero).
+    """
+
+    operations: int = 0
+    guarded: int = 0
+
+    @property
+    def executed(self) -> int:
+        """Operations that actually exercised the multiplier."""
+        return self.operations - self.guarded
+
+    @property
+    def guard_rate(self) -> float:
+        """Fraction of operations that were guarded (0..1)."""
+        if self.operations == 0:
+            return 0.0
+        return self.guarded / self.operations
+
+
+class MacUnit:
+    """A subword-parallel MAC with zero-guarding and a wide accumulator.
+
+    Parameters
+    ----------
+    width:
+        Physical multiplier operand width.
+    accumulator_bits:
+        Width of each accumulator register (one per subword lane).
+    guard_zero_operands:
+        Enable sparsity guarding: multiplications with a zero operand bypass
+        the multiplier and cost only the guard-detection energy.
+    """
+
+    def __init__(
+        self,
+        width: int = 16,
+        *,
+        accumulator_bits: int = 48,
+        technology: Technology = TECH_40NM_LP_LVT,
+        guard_zero_operands: bool = True,
+        reconfiguration_overhead: float = 0.21,
+    ):
+        if accumulator_bits < 2 * width:
+            raise ValueError("accumulator_bits must be at least twice the operand width")
+        self.width = width
+        self.accumulator_bits = accumulator_bits
+        self.technology = technology
+        self.guard_zero_operands = guard_zero_operands
+        self.multiplier = SubwordParallelMultiplier(
+            width,
+            technology=technology,
+            reconfiguration_overhead=reconfiguration_overhead,
+        )
+        self.statistics = MacStatistics()
+        self.activity = ActivityReport()
+        self._accumulators = [0]
+        self._previous_acc = [0]
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def mode(self) -> SubwordMode:
+        """Current subword mode of the underlying multiplier."""
+        return self.multiplier.mode
+
+    def set_precision(self, bits: int) -> SubwordMode:
+        """Select the DVAFS mode for ``bits`` precision and clear accumulators."""
+        mode = self.multiplier.set_precision(bits)
+        self._accumulators = [0] * mode.parallelism
+        self._previous_acc = [0] * mode.parallelism
+        return mode
+
+    def set_mode(self, parallelism: int, subword_bits: int | None = None) -> SubwordMode:
+        """Select an explicit subword mode and clear accumulators."""
+        mode = self.multiplier.set_mode(parallelism, subword_bits)
+        self._accumulators = [0] * mode.parallelism
+        self._previous_acc = [0] * mode.parallelism
+        return mode
+
+    def clear(self) -> None:
+        """Zero the accumulators (start of a new output pixel / neuron)."""
+        self._accumulators = [0] * self.mode.parallelism
+
+    def reset_activity(self) -> None:
+        """Clear accumulated activity and statistics."""
+        self.multiplier.reset_activity()
+        self.activity = ActivityReport()
+        self.statistics = MacStatistics()
+
+    @property
+    def accumulators(self) -> list[int]:
+        """Current accumulator values, one per subword lane."""
+        return list(self._accumulators)
+
+    # -- behaviour ----------------------------------------------------------
+
+    def multiply_accumulate(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Perform one MAC per lane; returns the updated accumulator values."""
+        mode = self.mode
+        if len(xs) != mode.parallelism or len(ys) != mode.parallelism:
+            raise ValueError(
+                f"mode {mode} expects {mode.parallelism} operand pairs"
+            )
+        self.statistics.operations += mode.parallelism
+
+        guarded = [
+            self.guard_zero_operands and (x == 0 or y == 0) for x, y in zip(xs, ys)
+        ]
+        if all(guarded):
+            # The whole cycle is guarded: only the guard-detection logic
+            # (a zero-compare per operand) toggles.
+            self.statistics.guarded += mode.parallelism
+            self.activity.record(
+                "guard", mode.parallelism * cell_cost("and2").gate_equivalents
+            )
+            self.activity.words += mode.parallelism
+            return self.accumulators
+
+        effective_xs = [0 if g else x for g, x in zip(guarded, xs)]
+        effective_ys = [0 if g else y for g, y in zip(guarded, ys)]
+        self.statistics.guarded += sum(guarded)
+        products = self.multiplier.multiply(effective_xs, effective_ys)
+        self.activity = self.activity.merged_with(_take_multiplier_activity(self.multiplier))
+
+        new_accumulators = []
+        toggles = 0
+        for lane, product in enumerate(products):
+            updated = wrap_signed(self._accumulators[lane] + product, self.accumulator_bits)
+            pattern_old = updated_pattern = None
+            pattern_old = self._previous_acc[lane] & ((1 << self.accumulator_bits) - 1)
+            updated_pattern = updated & ((1 << self.accumulator_bits) - 1)
+            toggles += popcount(pattern_old ^ updated_pattern)
+            self._previous_acc[lane] = updated
+            new_accumulators.append(updated)
+        self._accumulators = new_accumulators
+        self.activity.record(
+            "accumulator",
+            toggles * cell_cost("full_adder").gate_equivalents / 2.0,
+        )
+        return self.accumulators
+
+    def dot_product(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Accumulate an entire operand stream (``parallelism`` values per step).
+
+        The stream is consumed ``parallelism`` elements at a time; the final
+        accumulator values are returned.
+        """
+        mode = self.mode
+        if len(xs) != len(ys):
+            raise ValueError("operand streams must have equal length")
+        if len(xs) % mode.parallelism:
+            raise ValueError(
+                f"stream length {len(xs)} is not a multiple of parallelism "
+                f"{mode.parallelism}"
+            )
+        self.clear()
+        for start in range(0, len(xs), mode.parallelism):
+            self.multiply_accumulate(
+                xs[start : start + mode.parallelism],
+                ys[start : start + mode.parallelism],
+            )
+        return self.accumulators
+
+    def energy_per_operation_pj(self, voltage: float) -> float:
+        """Average dynamic energy per MAC operation at ``voltage`` (pJ)."""
+        if self.statistics.operations == 0:
+            raise ValueError("no operations executed")
+        total = self.activity.energy_pj(self.technology, voltage)
+        return total / self.statistics.operations
+
+
+def _take_multiplier_activity(multiplier: SubwordParallelMultiplier) -> ActivityReport:
+    """Drain the multiplier's accumulated activity into a fresh report."""
+    report = multiplier.activity
+    multiplier.activity = ActivityReport()
+    return report
+
+
+def count_zero_bits(values: list[int], width: int) -> int:
+    """Total number of zero bits across ``values`` at ``width`` bits each.
+
+    Utility used by the sparsity analyses to estimate data-dependent activity.
+    """
+    zeros = 0
+    for value in values:
+        pattern = value & ((1 << width) - 1)
+        zeros += width - sum(to_bits(pattern, width))
+    return zeros

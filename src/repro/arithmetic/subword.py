@@ -1,0 +1,247 @@
+"""Subword-parallel DVAFS multiplier.
+
+The DVAFS multiplier of Fig. 1b reuses the arithmetic cells that a DAS/DVAS
+design would leave idle at reduced precision: when precision is scaled to
+``width / N`` bits, the datapath is reconfigured into ``N`` independent
+sub-multipliers that each produce one product per cycle.  At constant
+computational throughput the clock can then be divided by ``N``, which is
+what lets the *whole* system's voltage scale (not just the arithmetic).
+
+This model composes :class:`~repro.arithmetic.multiplier.BoothWallaceMultiplier`
+instances for the subword lanes and adds the reconfiguration (segmentation
+mux) overhead the paper reports as a 21 % energy penalty at full precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.delay import CriticalPath
+from ..circuit.technology import TECH_40NM_LP_LVT, Technology
+from .fixed_point import pack_subwords, signed_range, unpack_subwords
+from .gates import cell_cost
+from .multiplier import ActivityReport, BoothWallaceMultiplier
+
+#: Extra logic levels on the critical path due to the segmentation muxes that
+#: make the multiplier subword-parallel.
+SEGMENTATION_LEVELS = 2.0
+
+
+@dataclass(frozen=True)
+class SubwordMode:
+    """A DVAFS operating mode: ``parallelism`` subwords of ``subword_bits`` each.
+
+    ``1 x 16b``, ``2 x 8b`` and ``4 x 4b`` are the modes used throughout the
+    paper; arbitrary power-of-two splits of the physical width are allowed.
+    """
+
+    parallelism: int
+    subword_bits: int
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if self.subword_bits < 2:
+            raise ValueError("subword_bits must be at least 2")
+
+    @property
+    def total_bits(self) -> int:
+        """Physical bits occupied by all subwords."""
+        return self.parallelism * self.subword_bits
+
+    def __str__(self) -> str:
+        return f"{self.parallelism}x{self.subword_bits}b"
+
+
+class SubwordParallelMultiplier:
+    """DVAFS multiplier: precision-gated *and* subword-parallel.
+
+    Parameters
+    ----------
+    width:
+        Physical operand width (16 in the paper).
+    technology:
+        Technology corner for delay/energy conversion.
+    reconfiguration_overhead:
+        Fractional energy overhead of the segmentation logic, referenced to
+        the activity of the active datapath (0.21 reproduces the paper's
+        21 % full-precision penalty).
+    rounding:
+        Use rounding instead of truncation when gating precision.
+    """
+
+    def __init__(
+        self,
+        width: int = 16,
+        *,
+        technology: Technology = TECH_40NM_LP_LVT,
+        reconfiguration_overhead: float = 0.21,
+        rounding: bool = False,
+    ):
+        if width < 4 or width % 2:
+            raise ValueError("width must be an even number >= 4")
+        if reconfiguration_overhead < 0:
+            raise ValueError("reconfiguration_overhead must be non-negative")
+        self.width = width
+        self.technology = technology
+        self.reconfiguration_overhead = reconfiguration_overhead
+        self.rounding = rounding
+        self._mode = SubwordMode(parallelism=1, subword_bits=width)
+        self._lanes = [self._build_lane(width)]
+        self.activity = ActivityReport()
+
+    def _build_lane(self, bits: int) -> BoothWallaceMultiplier:
+        return BoothWallaceMultiplier(
+            bits, technology=self.technology, rounding=self.rounding
+        )
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def mode(self) -> SubwordMode:
+        """Currently configured subword mode."""
+        return self._mode
+
+    def supported_modes(self) -> list[SubwordMode]:
+        """All power-of-two subword splits of the physical width."""
+        modes = []
+        parallelism = 1
+        while self.width // parallelism >= 2 and self.width % parallelism == 0:
+            modes.append(
+                SubwordMode(parallelism=parallelism, subword_bits=self.width // parallelism)
+            )
+            parallelism *= 2
+        return modes
+
+    def set_mode(self, parallelism: int, subword_bits: int | None = None) -> SubwordMode:
+        """Reconfigure into ``parallelism`` lanes of ``subword_bits`` bits.
+
+        ``subword_bits`` defaults to ``width // parallelism``.  The total
+        occupied bits must not exceed the physical width.
+        """
+        if subword_bits is None:
+            if self.width % parallelism:
+                raise ValueError(
+                    f"width {self.width} is not divisible by parallelism {parallelism}"
+                )
+            subword_bits = self.width // parallelism
+        mode = SubwordMode(parallelism=parallelism, subword_bits=subword_bits)
+        if mode.total_bits > self.width:
+            raise ValueError(
+                f"mode {mode} does not fit in a {self.width}-bit datapath"
+            )
+        self._mode = mode
+        self._lanes = [self._build_lane(mode.subword_bits) for _ in range(mode.parallelism)]
+        return mode
+
+    def set_precision(self, bits: int) -> SubwordMode:
+        """Configure the natural DVAFS mode for ``bits`` of precision.
+
+        Precisions that divide the physical width evenly become subword-
+        parallel modes (8 b -> 2 x 8 b, 4 b -> 4 x 4 b for a 16 b datapath);
+        other precisions fall back to a single gated lane, exactly like the
+        paper's 12 b point where N stays 1.
+        """
+        if not 2 <= bits <= self.width:
+            raise ValueError(f"precision must be in [2, {self.width}]")
+        if self.width % bits == 0:
+            return self.set_mode(self.width // bits, bits)
+        mode = self.set_mode(1, self.width)
+        self._lanes[0].set_precision(bits)
+        return mode
+
+    def reset_activity(self) -> None:
+        """Clear accumulated toggles on all lanes."""
+        for lane in self._lanes:
+            lane.reset_activity()
+        self.activity = ActivityReport()
+
+    # -- structure ----------------------------------------------------------
+
+    def critical_path_levels(self, mode: SubwordMode | None = None) -> float:
+        """Logic depth of the active path in the given (or current) mode.
+
+        For the current configuration the gated precision of the lanes is
+        honoured (a ``1 x 16b`` datapath gated down to 12 bits has a 12-bit
+        path), matching the multi-mode synthesis constraint of the paper.
+        """
+        segmentation = SEGMENTATION_LEVELS * cell_cost("mux2").logic_levels
+        if mode is None:
+            return self._lanes[0].critical_path_levels() + segmentation
+        lane = BoothWallaceMultiplier(mode.subword_bits, technology=self.technology)
+        return lane.critical_path_levels() + segmentation
+
+    def critical_path(self, mode: SubwordMode | None = None) -> CriticalPath:
+        """Critical path bound to this multiplier's technology."""
+        return CriticalPath(
+            logic_levels=self.critical_path_levels(mode), technology=self.technology
+        )
+
+    # -- behaviour ----------------------------------------------------------
+
+    def multiply(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Multiply ``parallelism`` operand pairs in one (modelled) cycle."""
+        mode = self._mode
+        if len(xs) != mode.parallelism or len(ys) != mode.parallelism:
+            raise ValueError(
+                f"mode {mode} expects {mode.parallelism} operand pairs, "
+                f"got {len(xs)} / {len(ys)}"
+            )
+        lo, hi = signed_range(mode.subword_bits)
+        for value in list(xs) + list(ys):
+            if not lo <= value <= hi:
+                raise ValueError(
+                    f"operand {value} does not fit in {mode.subword_bits} signed bits"
+                )
+        products = [
+            lane.multiply(x, y) for lane, x, y in zip(self._lanes, xs, ys)
+        ]
+        self._accumulate_lane_activity()
+        return products
+
+    def multiply_packed(self, packed_x: int, packed_y: int) -> int:
+        """Multiply operands packed as subwords; returns packed products.
+
+        Each product occupies ``2 * subword_bits`` in the packed result, so
+        the result of a ``4 x 4b`` operation is a 32-bit pattern holding four
+        8-bit products -- exactly the output format of the hardware.
+        """
+        mode = self._mode
+        xs = unpack_subwords(packed_x, mode.subword_bits, mode.parallelism)
+        ys = unpack_subwords(packed_y, mode.subword_bits, mode.parallelism)
+        products = self.multiply(xs, ys)
+        return pack_subwords(products, 2 * mode.subword_bits)
+
+    def multiply_stream(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Multiply a flat operand stream, ``parallelism`` pairs per cycle.
+
+        The stream length must be a multiple of the current parallelism.
+        """
+        mode = self._mode
+        xs = [int(v) for v in xs]
+        ys = [int(v) for v in ys]
+        if len(xs) != len(ys):
+            raise ValueError("operand streams must have equal length")
+        if len(xs) % mode.parallelism:
+            raise ValueError(
+                f"stream length {len(xs)} is not a multiple of parallelism "
+                f"{mode.parallelism}"
+            )
+        products: list[int] = []
+        for start in range(0, len(xs), mode.parallelism):
+            products.extend(
+                self.multiply(
+                    xs[start : start + mode.parallelism],
+                    ys[start : start + mode.parallelism],
+                )
+            )
+        return products
+
+    def _accumulate_lane_activity(self) -> None:
+        fresh = ActivityReport()
+        for lane in self._lanes:
+            fresh = fresh.merged_with(lane.take_activity())
+        overhead = fresh.total_weighted_toggles * self.reconfiguration_overhead
+        fresh.record("segmentation", overhead)
+        # Lane words are already counted inside the per-lane reports.
+        self.activity = self.activity.merged_with(fresh)

@@ -1,0 +1,134 @@
+"""Wallace-tree (carry-save) reduction of partial products.
+
+The reduction is simulated row-wise on two's-complement bit patterns: each
+level groups the current rows into triples (3:2 full-adder compression) and
+pairs (2:2 half-adder compression), producing the next level's rows.  The
+bit patterns of every level are returned so the multiplier model can count
+switching activity stage by stage, and the number of levels gives the
+tree's contribution to the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def wallace_levels(rows: int) -> int:
+    """Number of 3:2 compression levels needed to reduce ``rows`` rows to 2.
+
+    Follows the Dadda bound sequence 2, 3, 4, 6, 9, 13, 19, 28, ...
+    """
+    if rows < 1:
+        raise ValueError("rows must be at least 1")
+    if rows <= 2:
+        return 0
+    levels = 0
+    bound = 2
+    bounds = []
+    while bound < rows:
+        bound = int(bound * 3 / 2)
+        bounds.append(bound)
+        levels += 1
+    return levels
+
+
+@dataclass
+class ReductionLevel:
+    """Bit patterns produced by one carry-save compression level.
+
+    Attributes
+    ----------
+    rows:
+        Unsigned bit patterns (masked to the product width) of the rows that
+        come out of this level.
+    full_adder_bits:
+        Number of bit positions compressed with full adders at this level
+        (an area/energy proxy for the level).
+    half_adder_bits:
+        Number of bit positions compressed with half adders.
+    """
+
+    rows: list[int]
+    full_adder_bits: int
+    half_adder_bits: int
+
+
+@dataclass
+class ReductionResult:
+    """Complete carry-save reduction trace.
+
+    Attributes
+    ----------
+    levels:
+        Per-level traces, in reduction order.
+    sum_row, carry_row:
+        The two final rows whose addition yields the product (carry already
+        shifted).
+    """
+
+    levels: list[ReductionLevel]
+    sum_row: int
+    carry_row: int
+
+    @property
+    def depth(self) -> int:
+        """Number of compression levels actually used."""
+        return len(self.levels)
+
+
+def _compress_pair(a: int, b: int, mask: int) -> tuple[int, int]:
+    """2:2 (half-adder) carry-save compression of two rows."""
+    sum_row = (a ^ b) & mask
+    carry_row = ((a & b) << 1) & mask
+    return sum_row, carry_row
+
+
+def _compress_triple(a: int, b: int, c: int, mask: int) -> tuple[int, int]:
+    """3:2 (full-adder) carry-save compression of three rows."""
+    sum_row = (a ^ b ^ c) & mask
+    carry_row = (((a & b) | (a & c) | (b & c)) << 1) & mask
+    return sum_row, carry_row
+
+
+def reduce_rows(rows: list[int], product_bits: int) -> ReductionResult:
+    """Carry-save reduce ``rows`` (unsigned patterns) down to two rows.
+
+    The arithmetic is performed modulo ``2**product_bits``; because the true
+    product of the operands fits in ``product_bits`` two's-complement bits,
+    the modular sum of the two final rows equals the product pattern.
+    """
+    if product_bits < 1:
+        raise ValueError("product_bits must be at least 1")
+    mask = (1 << product_bits) - 1
+    current = [row & mask for row in rows]
+    if not current:
+        return ReductionResult(levels=[], sum_row=0, carry_row=0)
+
+    levels: list[ReductionLevel] = []
+    while len(current) > 2:
+        next_rows: list[int] = []
+        full_bits = 0
+        half_bits = 0
+        index = 0
+        while index + 3 <= len(current):
+            a, b, c = current[index : index + 3]
+            sum_row, carry_row = _compress_triple(a, b, c, mask)
+            next_rows.extend([sum_row, carry_row])
+            full_bits += product_bits
+            index += 3
+        remaining = len(current) - index
+        if remaining == 2:
+            a, b = current[index], current[index + 1]
+            sum_row, carry_row = _compress_pair(a, b, mask)
+            next_rows.extend([sum_row, carry_row])
+            half_bits += product_bits
+        elif remaining == 1:
+            next_rows.append(current[index])
+        levels.append(
+            ReductionLevel(rows=next_rows, full_adder_bits=full_bits, half_adder_bits=half_bits)
+        )
+        current = next_rows
+
+    if len(current) == 1:
+        current = [current[0], 0]
+    return ReductionResult(levels=levels, sum_row=current[0], carry_row=current[1])

@@ -1,0 +1,52 @@
+"""Circuit-level substrate: technology corners, delay, energy and power domains."""
+
+from .clock import ClockConfig, constant_throughput_clock, constant_throughput_frequency
+from .delay import CriticalPath, delay_stretch, path_delay_ns, unit_delay_ps
+from .energy import (
+    EnergyReport,
+    dynamic_power_mw,
+    leakage_power_uw,
+    toggle_energy_pj,
+    voltage_energy_scale,
+)
+from .power_domain import PowerBreakdown, PowerDomain, PowerDomainSet
+from .technology import (
+    TECH_28NM_FDSOI,
+    TECH_40NM_LP_LVT,
+    TECHNOLOGIES,
+    Technology,
+    get_technology,
+)
+from .voltage_scaling import (
+    VoltageScalingResult,
+    minimum_voltage_for_frequency,
+    minimum_voltage_for_period,
+    scale_voltage,
+)
+
+__all__ = [
+    "ClockConfig",
+    "constant_throughput_clock",
+    "constant_throughput_frequency",
+    "CriticalPath",
+    "delay_stretch",
+    "path_delay_ns",
+    "unit_delay_ps",
+    "EnergyReport",
+    "dynamic_power_mw",
+    "leakage_power_uw",
+    "toggle_energy_pj",
+    "voltage_energy_scale",
+    "PowerBreakdown",
+    "PowerDomain",
+    "PowerDomainSet",
+    "TECH_28NM_FDSOI",
+    "TECH_40NM_LP_LVT",
+    "TECHNOLOGIES",
+    "Technology",
+    "get_technology",
+    "VoltageScalingResult",
+    "minimum_voltage_for_frequency",
+    "minimum_voltage_for_period",
+    "scale_voltage",
+]

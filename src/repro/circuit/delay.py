@@ -1,0 +1,94 @@
+"""Alpha-power-law gate-delay model.
+
+The DVAS/DVAFS voltage scaling gains hinge on how gate delay stretches as the
+supply voltage is lowered.  We use the classic alpha-power-law MOSFET model
+(Sakurai & Newton):
+
+.. math::
+
+    t_d(V) \\propto \\frac{V}{(V - V_{th})^{\\alpha}}
+
+normalised so that the delay at the technology's nominal voltage equals the
+characterised ``unit_delay_ps``.  Critical paths are expressed in *logic
+levels* (reference cell delays); multiplying by the voltage-dependent unit
+delay yields absolute path delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .technology import Technology
+
+
+def delay_stretch(technology: Technology, voltage: float) -> float:
+    """Relative gate-delay stretch at ``voltage`` vs. the nominal supply.
+
+    Returns a factor >= 1 for voltages below nominal and < 1 above nominal.
+
+    Raises
+    ------
+    ValueError
+        If ``voltage`` does not exceed the technology threshold voltage.
+    """
+    if voltage <= technology.threshold_voltage:
+        raise ValueError(
+            f"supply voltage {voltage:.3f} V must exceed the threshold "
+            f"voltage {technology.threshold_voltage:.3f} V"
+        )
+    vdd0 = technology.nominal_voltage
+    vth = technology.threshold_voltage
+    alpha = technology.alpha
+    nominal = vdd0 / (vdd0 - vth) ** alpha
+    scaled = voltage / (voltage - vth) ** alpha
+    return scaled / nominal
+
+
+def unit_delay_ps(technology: Technology, voltage: float) -> float:
+    """Absolute delay of one reference logic level at ``voltage`` (ps)."""
+    return (
+        technology.unit_delay_ps
+        * technology.wire_factor
+        * delay_stretch(technology, voltage)
+    )
+
+
+def path_delay_ns(technology: Technology, logic_levels: float, voltage: float) -> float:
+    """Absolute delay of a path of ``logic_levels`` reference levels (ns)."""
+    if logic_levels < 0:
+        raise ValueError("logic_levels must be non-negative")
+    return logic_levels * unit_delay_ps(technology, voltage) / 1000.0
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """A critical path expressed in reference logic levels.
+
+    The structural arithmetic models (:mod:`repro.arithmetic`) report their
+    critical paths as logic depths; this wrapper binds a depth to a
+    technology and answers timing questions at arbitrary supply voltages.
+    """
+
+    logic_levels: float
+    technology: Technology
+
+    def delay_ns(self, voltage: float) -> float:
+        """Path delay in nanoseconds at the given supply voltage."""
+        return path_delay_ns(self.technology, self.logic_levels, voltage)
+
+    def max_frequency_mhz(self, voltage: float) -> float:
+        """Maximum clock frequency (MHz) this path supports at ``voltage``."""
+        delay = self.delay_ns(voltage)
+        if delay <= 0:
+            return float("inf")
+        return 1000.0 / delay
+
+    def positive_slack_ns(self, voltage: float, clock_period_ns: float) -> float:
+        """Positive slack against ``clock_period_ns`` (negative if failing)."""
+        if clock_period_ns <= 0:
+            raise ValueError("clock_period_ns must be positive")
+        return clock_period_ns - self.delay_ns(voltage)
+
+    def meets_timing(self, voltage: float, clock_period_ns: float) -> bool:
+        """Whether the path meets timing at ``voltage`` for the given period."""
+        return self.positive_slack_ns(voltage, clock_period_ns) >= 0.0

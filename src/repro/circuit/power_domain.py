@@ -1,0 +1,131 @@
+"""Power domains for DVAS/DVAFS systems.
+
+A DVAS design must be split into at least two supply domains: the
+accuracy-scalable arithmetic (``as``) whose voltage tracks the shortened
+critical path, and the non-accuracy-scalable rest (``nas``) which stays at
+nominal.  DVAFS additionally lets the ``nas`` domain scale because the whole
+system slows down by the subword-parallelism factor N.  Memories typically
+keep a fixed retention-safe supply (``mem``), as in the SIMD processor of
+Section III-B.
+
+This module provides a small bookkeeping abstraction used by the SIMD and
+Envision models to attribute power per domain and to reproduce the
+percentage breakdowns of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import dynamic_power_mw
+
+
+@dataclass
+class PowerDomain:
+    """One supply domain with its own voltage and switched capacitance.
+
+    Attributes
+    ----------
+    name:
+        Domain identifier (``"as"``, ``"nas"``, ``"mem"``, ...).
+    voltage:
+        Supply voltage of the domain (V).
+    switched_capacitance_pf:
+        Effective switched capacitance per clock cycle at unit activity (pF).
+    activity:
+        Average switching activity factor of the domain (dimensionless).
+    scalable_voltage:
+        Whether the domain's supply may be lowered by the controller.  The
+        memory domain of the SIMD processor is pinned at 1.1 V for reliable
+        retention, so its ``scalable_voltage`` is ``False``.
+    """
+
+    name: str
+    voltage: float
+    switched_capacitance_pf: float
+    activity: float = 1.0
+    scalable_voltage: bool = True
+
+    def __post_init__(self) -> None:
+        if self.voltage <= 0:
+            raise ValueError("voltage must be positive")
+        if self.switched_capacitance_pf < 0:
+            raise ValueError("switched_capacitance_pf must be non-negative")
+        if self.activity < 0:
+            raise ValueError("activity must be non-negative")
+
+    def power_mw(self, frequency_mhz: float) -> float:
+        """Dynamic power of the domain at ``frequency_mhz`` (mW)."""
+        return dynamic_power_mw(
+            self.switched_capacitance_pf, self.activity, frequency_mhz, self.voltage
+        )
+
+    def set_voltage(self, voltage: float) -> None:
+        """Change the domain supply; refuses if the domain is not scalable."""
+        if not self.scalable_voltage:
+            raise ValueError(f"domain {self.name!r} has a fixed supply voltage")
+        if voltage <= 0:
+            raise ValueError("voltage must be positive")
+        self.voltage = voltage
+
+
+@dataclass
+class PowerBreakdown:
+    """Per-domain power figures for one operating point.
+
+    ``fractions()`` returns the percentage split used in Table II.
+    """
+
+    domain_power_mw: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_mw(self) -> float:
+        """Total power across all domains (mW)."""
+        return sum(self.domain_power_mw.values())
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total power consumed by domain ``name`` (0..1)."""
+        total = self.total_mw
+        if total <= 0:
+            return 0.0
+        return self.domain_power_mw.get(name, 0.0) / total
+
+    def fractions(self) -> dict[str, float]:
+        """Fractions of total power per domain."""
+        return {name: self.fraction(name) for name in self.domain_power_mw}
+
+    def percentages(self) -> dict[str, float]:
+        """Percentage split per domain, as printed in Table II."""
+        return {name: 100.0 * frac for name, frac in self.fractions().items()}
+
+
+class PowerDomainSet:
+    """A collection of named power domains evaluated at a shared frequency."""
+
+    def __init__(self, domains: list[PowerDomain]):
+        names = [domain.name for domain in domains]
+        if len(set(names)) != len(names):
+            raise ValueError("power domain names must be unique")
+        self._domains = {domain.name: domain for domain in domains}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._domains
+
+    def __getitem__(self, name: str) -> PowerDomain:
+        return self._domains[name]
+
+    @property
+    def names(self) -> list[str]:
+        """Domain names in insertion order."""
+        return list(self._domains)
+
+    def breakdown(self, frequency_mhz: float) -> PowerBreakdown:
+        """Evaluate every domain at ``frequency_mhz`` and return the split."""
+        if frequency_mhz < 0:
+            raise ValueError("frequency_mhz must be non-negative")
+        return PowerBreakdown(
+            domain_power_mw={
+                name: domain.power_mw(frequency_mhz)
+                for name, domain in self._domains.items()
+            }
+        )

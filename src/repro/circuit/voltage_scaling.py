@@ -1,0 +1,143 @@
+"""Minimum-supply solvers for DVAS/DVAFS voltage scaling.
+
+Given a critical path (in logic levels) and a target clock period, these
+helpers find the lowest supply voltage at which the path still meets timing.
+This is the mechanism that converts the *positive slack* created by precision
+gating (Fig. 2b of the paper) into energy savings (Fig. 2c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .delay import CriticalPath, path_delay_ns
+from .technology import Technology
+
+
+def minimum_voltage_for_period(
+    technology: Technology,
+    logic_levels: float,
+    clock_period_ns: float,
+    *,
+    resolution_mv: float = 1.0,
+    guard_band_mv: float = 0.0,
+) -> float:
+    """Lowest supply (V) at which ``logic_levels`` fit in ``clock_period_ns``.
+
+    A bisection search over the characterised supply range is used; the delay
+    model is monotonic in voltage so bisection converges unconditionally.
+
+    Parameters
+    ----------
+    technology:
+        Technology corner providing the delay model and voltage limits.
+    logic_levels:
+        Critical path depth in reference logic levels.
+    clock_period_ns:
+        Target clock period in nanoseconds.
+    resolution_mv:
+        Search resolution in millivolts.
+    guard_band_mv:
+        Extra voltage margin added on top of the exact solution, in
+        millivolts (models on-chip supply noise margin).
+
+    Raises
+    ------
+    ValueError
+        If the path cannot meet the period even at the maximum supply.
+    """
+    if clock_period_ns <= 0:
+        raise ValueError("clock_period_ns must be positive")
+    if logic_levels < 0:
+        raise ValueError("logic_levels must be non-negative")
+    if resolution_mv <= 0:
+        raise ValueError("resolution_mv must be positive")
+
+    lo = technology.min_voltage
+    hi = technology.max_voltage
+
+    if path_delay_ns(technology, logic_levels, hi) > clock_period_ns:
+        raise ValueError(
+            f"critical path of {logic_levels:.1f} levels cannot meet a "
+            f"{clock_period_ns:.3f} ns period even at {hi:.2f} V"
+        )
+    if path_delay_ns(technology, logic_levels, lo) <= clock_period_ns:
+        return technology.clamp_voltage(lo + guard_band_mv / 1000.0)
+
+    tolerance = resolution_mv / 1000.0
+    while hi - lo > tolerance:
+        mid = 0.5 * (lo + hi)
+        if path_delay_ns(technology, logic_levels, mid) <= clock_period_ns:
+            hi = mid
+        else:
+            lo = mid
+    return technology.clamp_voltage(hi + guard_band_mv / 1000.0)
+
+
+def minimum_voltage_for_frequency(
+    technology: Technology,
+    logic_levels: float,
+    frequency_mhz: float,
+    *,
+    resolution_mv: float = 1.0,
+    guard_band_mv: float = 0.0,
+) -> float:
+    """Lowest supply (V) at which the path runs at ``frequency_mhz``."""
+    if frequency_mhz <= 0:
+        raise ValueError("frequency_mhz must be positive")
+    return minimum_voltage_for_period(
+        technology,
+        logic_levels,
+        1000.0 / frequency_mhz,
+        resolution_mv=resolution_mv,
+        guard_band_mv=guard_band_mv,
+    )
+
+
+@dataclass(frozen=True)
+class VoltageScalingResult:
+    """Outcome of a voltage-scaling query for one operating mode.
+
+    Attributes
+    ----------
+    voltage:
+        Minimum supply voltage found (V).
+    slack_ns:
+        Positive slack remaining at that voltage for the target period (ns).
+    slack_at_nominal_ns:
+        Positive slack at the technology's nominal voltage (ns) -- this is
+        the quantity plotted in Fig. 2b of the paper.
+    clock_period_ns:
+        Target clock period (ns).
+    """
+
+    voltage: float
+    slack_ns: float
+    slack_at_nominal_ns: float
+    clock_period_ns: float
+
+
+def scale_voltage(
+    critical_path: CriticalPath,
+    clock_period_ns: float,
+    *,
+    resolution_mv: float = 1.0,
+    guard_band_mv: float = 0.0,
+) -> VoltageScalingResult:
+    """Solve for the minimum supply of ``critical_path`` at a target period."""
+    technology = critical_path.technology
+    voltage = minimum_voltage_for_period(
+        technology,
+        critical_path.logic_levels,
+        clock_period_ns,
+        resolution_mv=resolution_mv,
+        guard_band_mv=guard_band_mv,
+    )
+    return VoltageScalingResult(
+        voltage=voltage,
+        slack_ns=critical_path.positive_slack_ns(voltage, clock_period_ns),
+        slack_at_nominal_ns=critical_path.positive_slack_ns(
+            technology.nominal_voltage, clock_period_ns
+        ),
+        clock_period_ns=clock_period_ns,
+    )

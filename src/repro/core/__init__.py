@@ -1,0 +1,40 @@
+"""DVAFS core: power equations, scaling extraction, operating points, scheduling."""
+
+from .operating_point import (
+    OperatingPoint,
+    operating_point_from_scaling,
+    operating_points_from_characterization,
+)
+from .pareto import TradeoffPoint, dominated_fraction, dynamic_range, energy_at_accuracy, pareto_front
+from .power_model import PAPER_TABLE_I, DvafsSystem, PowerSplit, ScalingParameters
+from .scaling import (
+    EnergyAccuracyPoint,
+    MultiplierCharacterization,
+    PrecisionProfile,
+    characterize_multiplier,
+    multiplier_energy_curves,
+)
+from .scheduler import PrecisionRequirement, PrecisionScheduler, ScheduledTask
+
+__all__ = [
+    "OperatingPoint",
+    "operating_point_from_scaling",
+    "operating_points_from_characterization",
+    "TradeoffPoint",
+    "dominated_fraction",
+    "dynamic_range",
+    "energy_at_accuracy",
+    "pareto_front",
+    "PAPER_TABLE_I",
+    "DvafsSystem",
+    "PowerSplit",
+    "ScalingParameters",
+    "EnergyAccuracyPoint",
+    "MultiplierCharacterization",
+    "PrecisionProfile",
+    "characterize_multiplier",
+    "multiplier_energy_curves",
+    "PrecisionRequirement",
+    "PrecisionScheduler",
+    "ScheduledTask",
+]

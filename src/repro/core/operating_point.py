@@ -1,0 +1,161 @@
+"""Operating points of a DVAFS system.
+
+An operating point bundles everything the power-management unit of a DVAFS
+system programs at once: precision, subword parallelism, clock frequency and
+the supplies of the accuracy-scalable / non-scalable (and memory) domains.
+The Envision measurements of Table III are reported exactly in these terms
+(mode, f, V, weight/input precision).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.clock import constant_throughput_frequency
+from .power_model import ScalingParameters
+from .scaling import MultiplierCharacterization
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One configuration of a precision-scalable processor.
+
+    Attributes
+    ----------
+    precision:
+        Active bits per subword.
+    parallelism:
+        Subwords processed per cycle (N).
+    frequency_mhz:
+        Clock frequency.
+    as_voltage:
+        Supply of the accuracy-scalable arithmetic domain (V).
+    nas_voltage:
+        Supply of the non-accuracy-scalable logic domain (V).
+    mem_voltage:
+        Supply of the memory domain (V); memories often keep a fixed
+        retention-safe supply.
+    technique:
+        Which scaling technique produced this point (``"DAS"``, ``"DVAS"``,
+        ``"DVAFS"`` or ``"DVFS"``).
+    """
+
+    precision: int
+    parallelism: int
+    frequency_mhz: float
+    as_voltage: float
+    nas_voltage: float
+    mem_voltage: float | None = None
+    technique: str = "DVAFS"
+
+    def __post_init__(self) -> None:
+        if self.precision < 1:
+            raise ValueError("precision must be positive")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency_mhz must be positive")
+        if self.as_voltage <= 0 or self.nas_voltage <= 0:
+            raise ValueError("voltages must be positive")
+
+    @property
+    def mode_label(self) -> str:
+        """Mode label in the paper's notation, e.g. ``"4x4b"``."""
+        return f"{self.parallelism}x{self.precision}b"
+
+    @property
+    def throughput_mops(self) -> float:
+        """Words processed per second, in millions."""
+        return self.frequency_mhz * self.parallelism
+
+
+def operating_points_from_characterization(
+    characterization: MultiplierCharacterization,
+) -> dict[str, list[OperatingPoint]]:
+    """Build the DAS / DVAS / DVAFS operating-point sets of a characterisation.
+
+    Returns a mapping from technique name to its list of operating points,
+    ordered from full precision down, all at constant computational
+    throughput (the schedule of Fig. 2a).
+    """
+    technology = characterization.technology
+    nominal = technology.nominal_voltage
+    base_frequency = characterization.base_frequency_mhz
+    result: dict[str, list[OperatingPoint]] = {"DAS": [], "DVAS": [], "DVAFS": []}
+    for precision, profile in sorted(characterization.profiles.items(), reverse=True):
+        result["DAS"].append(
+            OperatingPoint(
+                precision=precision,
+                parallelism=1,
+                frequency_mhz=base_frequency,
+                as_voltage=nominal,
+                nas_voltage=nominal,
+                technique="DAS",
+            )
+        )
+        result["DVAS"].append(
+            OperatingPoint(
+                precision=precision,
+                parallelism=1,
+                frequency_mhz=base_frequency,
+                as_voltage=profile.dvas_voltage,
+                nas_voltage=nominal,
+                technique="DVAS",
+            )
+        )
+        result["DVAFS"].append(
+            OperatingPoint(
+                precision=precision,
+                parallelism=profile.parallelism,
+                frequency_mhz=constant_throughput_frequency(
+                    base_frequency, profile.parallelism
+                ),
+                as_voltage=profile.dvafs_as_voltage,
+                nas_voltage=profile.dvafs_nas_voltage,
+                technique="DVAFS",
+            )
+        )
+    return result
+
+
+def operating_point_from_scaling(
+    scaling: ScalingParameters,
+    *,
+    base_frequency_mhz: float,
+    nominal_voltage: float,
+    technique: str = "DVAFS",
+    mem_voltage: float | None = None,
+) -> OperatingPoint:
+    """Derive an operating point from an analytical Table-I row."""
+    technique = technique.upper()
+    if technique == "DAS":
+        return OperatingPoint(
+            precision=scaling.precision,
+            parallelism=1,
+            frequency_mhz=base_frequency_mhz,
+            as_voltage=nominal_voltage,
+            nas_voltage=nominal_voltage,
+            mem_voltage=mem_voltage,
+            technique=technique,
+        )
+    if technique == "DVAS":
+        return OperatingPoint(
+            precision=scaling.precision,
+            parallelism=1,
+            frequency_mhz=base_frequency_mhz,
+            as_voltage=nominal_voltage / scaling.k2,
+            nas_voltage=nominal_voltage,
+            mem_voltage=mem_voltage,
+            technique=technique,
+        )
+    if technique == "DVAFS":
+        return OperatingPoint(
+            precision=scaling.precision,
+            parallelism=scaling.parallelism,
+            frequency_mhz=base_frequency_mhz / scaling.parallelism,
+            as_voltage=nominal_voltage / scaling.k4,
+            nas_voltage=nominal_voltage / scaling.k5,
+            mem_voltage=mem_voltage,
+            technique=technique,
+        )
+    raise ValueError(f"unknown technique {technique!r}")

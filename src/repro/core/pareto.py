@@ -1,0 +1,101 @@
+"""Pareto-front utilities for energy-accuracy trade-off analysis.
+
+The headline result of the paper is that the DVAFS energy-accuracy curve
+dominates the other approximate-computing techniques (Fig. 3b).  These
+helpers compute Pareto fronts and dominance relations over generic
+(accuracy-loss, energy) point sets so the comparison can be made
+programmatically in the experiments and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """A point in the energy-accuracy plane.
+
+    Attributes
+    ----------
+    accuracy_loss:
+        Accuracy degradation metric (e.g. RMSE); lower is better.
+    energy:
+        Relative or absolute energy; lower is better.
+    label:
+        Free-form identification of the configuration.
+    """
+
+    accuracy_loss: float
+    energy: float
+    label: str = ""
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """True if this point is at least as good in both axes and better in one."""
+        no_worse = (
+            self.accuracy_loss <= other.accuracy_loss and self.energy <= other.energy
+        )
+        strictly_better = (
+            self.accuracy_loss < other.accuracy_loss or self.energy < other.energy
+        )
+        return no_worse and strictly_better
+
+
+def pareto_front(points: Iterable[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated subset of ``points``, sorted by increasing accuracy loss."""
+    points = list(points)
+    front = [
+        point
+        for point in points
+        if not any(other.dominates(point) for other in points if other is not point)
+    ]
+    return sorted(front, key=lambda p: (p.accuracy_loss, p.energy))
+
+
+def dominated_fraction(
+    candidate: Iterable[TradeoffPoint], reference: Iterable[TradeoffPoint]
+) -> float:
+    """Fraction of ``reference`` points dominated by at least one ``candidate`` point.
+
+    Used to quantify how much of the competing techniques' design space the
+    DVAFS curve covers.
+    """
+    candidate = list(candidate)
+    reference = list(reference)
+    if not reference:
+        return 0.0
+    dominated = sum(
+        1 for ref in reference if any(point.dominates(ref) for point in candidate)
+    )
+    return dominated / len(reference)
+
+
+def energy_at_accuracy(
+    points: Iterable[TradeoffPoint], max_accuracy_loss: float
+) -> float | None:
+    """Lowest energy among points meeting an accuracy-loss bound.
+
+    Returns ``None`` if no point satisfies the bound -- e.g. a fixed
+    design-time approximate multiplier queried for an accuracy it cannot
+    reach.
+    """
+    feasible = [p.energy for p in points if p.accuracy_loss <= max_accuracy_loss]
+    if not feasible:
+        return None
+    return min(feasible)
+
+
+def dynamic_range(points: Iterable[TradeoffPoint]) -> float:
+    """Ratio between the highest and lowest energy of a curve.
+
+    The paper quotes a 20x dynamic power range for the multiplier and about
+    8x for the full SIMD processor when scaling from 16 b to 4 b.
+    """
+    energies = [p.energy for p in points]
+    if not energies:
+        raise ValueError("no points given")
+    lowest = min(energies)
+    if lowest <= 0:
+        raise ValueError("energies must be positive")
+    return max(energies) / lowest

@@ -1,0 +1,255 @@
+"""Analytical DAS / DVAS / DVAFS power models (equations 1-3 of the paper).
+
+The paper decomposes a system into an *accuracy-scalable* part (``as``:
+multipliers, adders, the vector datapath) and a *non-accuracy-scalable* part
+(``nas``: instruction fetch/decode, control, address generation; memories are
+tracked separately where relevant).  The three techniques then differ in
+which of the run-time knobs -- activity ``alpha``, frequency ``f`` and supply
+``V`` -- they modulate when precision is reduced:
+
+========  =========================  ==========================
+technique  as-part                    nas-part
+========  =========================  ==========================
+DAS        alpha / k0                 unchanged
+DVAS       alpha / k1, V / k2         unchanged
+DVAFS      alpha / k3, f / N, V / k4  f / N, V / k5
+========  =========================  ==========================
+
+The ``ScalingParameters`` dataclass carries the per-precision factors (the
+rows of Table I); :class:`DvafsSystem` evaluates the equations for a system
+described by its as/nas switched capacitances and activities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..circuit.energy import dynamic_power_mw
+
+
+@dataclass(frozen=True)
+class ScalingParameters:
+    """Per-precision scaling factors of the D(V)A(F)S power equations.
+
+    Attributes
+    ----------
+    precision:
+        Active number of bits this row describes.
+    k0:
+        DAS activity reduction factor (per processed word).
+    k1:
+        DVAS activity reduction factor (identical to ``k0`` in the paper).
+    k2:
+        DVAS supply-voltage reduction factor of the ``as`` domain.
+    k3:
+        DVAFS *per-cycle* activity reduction factor of the ``as`` domain
+        (smaller than ``k0`` because N subwords share the array each cycle).
+    k4:
+        DVAFS supply reduction factor of the ``as`` domain.
+    k5:
+        DVAFS supply reduction factor of the ``nas`` domain (possible because
+        the whole system runs at ``f / N``).
+    parallelism:
+        Subword parallelism N of the DVAFS mode at this precision.
+    """
+
+    precision: int
+    k0: float
+    k1: float
+    k2: float
+    k3: float
+    k4: float
+    k5: float
+    parallelism: int
+
+    def __post_init__(self) -> None:
+        if self.precision < 1:
+            raise ValueError("precision must be positive")
+        for name in ("k0", "k1", "k2", "k3", "k4", "k5"):
+            if getattr(self, name) < 1.0 - 1e-9:
+                raise ValueError(f"{name} must be >= 1 (got {getattr(self, name)})")
+        if self.parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+
+
+#: Table I of the paper: scaling parameters extracted by the authors from
+#: their 40 nm multiplier.  ``k5`` is not listed in the table; the values
+#: here are derived from the nas-domain voltages of Table II (1.1 V at N=1,
+#: 0.9 V at N=2, 0.8 V at N=4).  These constants are used as the reference
+#: the re-extracted parameters are compared against in EXPERIMENTS.md.
+PAPER_TABLE_I: dict[int, ScalingParameters] = {
+    4: ScalingParameters(precision=4, k0=12.5, k1=12.5, k2=1.2, k3=3.2, k4=1.53, k5=1.375, parallelism=4),
+    8: ScalingParameters(precision=8, k0=3.5, k1=3.5, k2=1.1, k3=1.82, k4=1.27, k5=1.222, parallelism=2),
+    12: ScalingParameters(precision=12, k0=1.4, k1=1.4, k2=1.02, k3=1.45, k4=1.02, k5=1.0, parallelism=1),
+    16: ScalingParameters(precision=16, k0=1.0, k1=1.0, k2=1.0, k3=1.0, k4=1.0, k5=1.0, parallelism=1),
+}
+
+
+@dataclass(frozen=True)
+class PowerSplit:
+    """Power of one operating point split into as / nas (and memory) parts."""
+
+    as_mw: float
+    nas_mw: float
+    mem_mw: float = 0.0
+
+    @property
+    def total_mw(self) -> float:
+        """Total power in milliwatts."""
+        return self.as_mw + self.nas_mw + self.mem_mw
+
+    def fractions(self) -> dict[str, float]:
+        """Fractional split per part (0..1 each)."""
+        total = self.total_mw
+        if total <= 0:
+            return {"as": 0.0, "nas": 0.0, "mem": 0.0}
+        return {
+            "as": self.as_mw / total,
+            "nas": self.nas_mw / total,
+            "mem": self.mem_mw / total,
+        }
+
+
+@dataclass(frozen=True)
+class DvafsSystem:
+    """Analytical description of a precision-scalable system.
+
+    Attributes
+    ----------
+    as_capacitance_pf:
+        Effective switched capacitance of the accuracy-scalable logic per
+        cycle (pF).
+    nas_capacitance_pf:
+        Effective switched capacitance of the non-accuracy-scalable logic
+        per cycle (pF).
+    as_activity, nas_activity:
+        Baseline (full-precision) switching activities of the two parts.
+    base_frequency_mhz:
+        Full-precision clock frequency (e.g. 500 MHz for the multiplier
+        study, 200 MHz for Envision).
+    nominal_voltage:
+        Supply voltage at full precision (V).
+    mem_capacitance_pf, mem_activity, mem_voltage:
+        Optional memory part with a fixed supply (the SIMD processor's
+        memories stay at 1.1 V).
+    """
+
+    as_capacitance_pf: float
+    nas_capacitance_pf: float
+    as_activity: float
+    nas_activity: float
+    base_frequency_mhz: float
+    nominal_voltage: float
+    mem_capacitance_pf: float = 0.0
+    mem_activity: float = 1.0
+    mem_voltage: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.base_frequency_mhz <= 0:
+            raise ValueError("base_frequency_mhz must be positive")
+        if self.nominal_voltage <= 0:
+            raise ValueError("nominal_voltage must be positive")
+
+    # -- the three techniques ------------------------------------------------
+
+    def das_power(self, scaling: ScalingParameters) -> PowerSplit:
+        """Equation (1): only the as-activity scales; f and V stay nominal."""
+        as_mw = dynamic_power_mw(
+            self.as_capacitance_pf,
+            self.as_activity / scaling.k0,
+            self.base_frequency_mhz,
+            self.nominal_voltage,
+        )
+        nas_mw = dynamic_power_mw(
+            self.nas_capacitance_pf,
+            self.nas_activity,
+            self.base_frequency_mhz,
+            self.nominal_voltage,
+        )
+        return PowerSplit(as_mw=as_mw, nas_mw=nas_mw, mem_mw=self._memory_power(self.base_frequency_mhz))
+
+    def dvas_power(self, scaling: ScalingParameters) -> PowerSplit:
+        """Equation (2): as-activity and as-voltage scale; nas stays nominal."""
+        as_mw = dynamic_power_mw(
+            self.as_capacitance_pf,
+            self.as_activity / scaling.k1,
+            self.base_frequency_mhz,
+            self.nominal_voltage / scaling.k2,
+        )
+        nas_mw = dynamic_power_mw(
+            self.nas_capacitance_pf,
+            self.nas_activity,
+            self.base_frequency_mhz,
+            self.nominal_voltage,
+        )
+        return PowerSplit(as_mw=as_mw, nas_mw=nas_mw, mem_mw=self._memory_power(self.base_frequency_mhz))
+
+    def dvafs_power(self, scaling: ScalingParameters) -> PowerSplit:
+        """Equation (3): activity, frequency and both supplies scale."""
+        frequency = self.base_frequency_mhz / scaling.parallelism
+        as_mw = dynamic_power_mw(
+            self.as_capacitance_pf,
+            self.as_activity / scaling.k3,
+            frequency,
+            self.nominal_voltage / scaling.k4,
+        )
+        nas_mw = dynamic_power_mw(
+            self.nas_capacitance_pf,
+            self.nas_activity,
+            frequency,
+            self.nominal_voltage / scaling.k5,
+        )
+        return PowerSplit(as_mw=as_mw, nas_mw=nas_mw, mem_mw=self._memory_power(frequency))
+
+    def dvfs_power(self, frequency_mhz: float, voltage: float) -> PowerSplit:
+        """Classic DVFS reference: whole system scaled, precision untouched."""
+        as_mw = dynamic_power_mw(
+            self.as_capacitance_pf, self.as_activity, frequency_mhz, voltage
+        )
+        nas_mw = dynamic_power_mw(
+            self.nas_capacitance_pf, self.nas_activity, frequency_mhz, voltage
+        )
+        return PowerSplit(as_mw=as_mw, nas_mw=nas_mw, mem_mw=self._memory_power(frequency_mhz))
+
+    def _memory_power(self, frequency_mhz: float) -> float:
+        if self.mem_capacitance_pf <= 0:
+            return 0.0
+        voltage = self.mem_voltage if self.mem_voltage is not None else self.nominal_voltage
+        return dynamic_power_mw(
+            self.mem_capacitance_pf, self.mem_activity, frequency_mhz, voltage
+        )
+
+    # -- energy per word at constant throughput ------------------------------
+
+    @property
+    def baseline_throughput_mops(self) -> float:
+        """Words per second at full precision (one word per cycle)."""
+        return self.base_frequency_mhz
+
+    def energy_per_word_pj(self, split: PowerSplit, *, words_per_cycle: int = 1) -> float:
+        """Energy per processed word (pJ) for a power split.
+
+        At constant computational throughput the DVAFS modes process
+        ``words_per_cycle = N`` words per (slower) cycle, so throughput in
+        MOPS equals the baseline frequency for every technique and the
+        energy per word is simply ``P / T``.
+        """
+        if words_per_cycle < 1:
+            raise ValueError("words_per_cycle must be at least 1")
+        throughput_mops = self.baseline_throughput_mops
+        # mW / MOPS = nJ per operation; convert to pJ.
+        return split.total_mw / throughput_mops * 1000.0
+
+    def das_energy_per_word_pj(self, scaling: ScalingParameters) -> float:
+        """Energy per word of the DAS mode at constant throughput (pJ)."""
+        return self.energy_per_word_pj(self.das_power(scaling))
+
+    def dvas_energy_per_word_pj(self, scaling: ScalingParameters) -> float:
+        """Energy per word of the DVAS mode at constant throughput (pJ)."""
+        return self.energy_per_word_pj(self.dvas_power(scaling))
+
+    def dvafs_energy_per_word_pj(self, scaling: ScalingParameters) -> float:
+        """Energy per word of the DVAFS mode at constant throughput (pJ)."""
+        return self.energy_per_word_pj(
+            self.dvafs_power(scaling), words_per_cycle=scaling.parallelism
+        )

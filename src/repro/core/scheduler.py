@@ -1,0 +1,143 @@
+"""Precision scheduling: choosing the DVAFS mode for each task.
+
+Section IV of the paper argues that an energy-optimal accelerator must tune
+its precision *per application, per network and per layer*.  The scheduler
+here implements that policy: given the precision each task (e.g. a CNN
+layer) requires and the operating points the hardware supports, it picks the
+lowest-energy mode that still satisfies the requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .operating_point import OperatingPoint
+
+
+@dataclass(frozen=True)
+class PrecisionRequirement:
+    """Precision demand of one task.
+
+    Attributes
+    ----------
+    name:
+        Task identifier (e.g. ``"conv3"``).
+    required_bits:
+        Minimum number of bits the task needs to meet its quality target;
+        for a CNN layer this is ``max(weight_bits, activation_bits)``.
+    operations:
+        Number of elementary operations (e.g. MACs) the task performs; used
+        to weight energy across tasks.
+    """
+
+    name: str
+    required_bits: int
+    operations: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.required_bits < 1:
+            raise ValueError("required_bits must be positive")
+        if self.operations < 0:
+            raise ValueError("operations must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """The operating point selected for one task, with its energy estimate."""
+
+    requirement: PrecisionRequirement
+    operating_point: OperatingPoint
+    energy_per_operation_pj: float
+
+    @property
+    def total_energy_pj(self) -> float:
+        """Energy of the whole task (pJ)."""
+        return self.energy_per_operation_pj * self.requirement.operations
+
+
+class PrecisionScheduler:
+    """Selects the lowest-energy operating point per precision requirement.
+
+    Parameters
+    ----------
+    operating_points:
+        Modes the hardware supports.
+    energy_model:
+        Callable mapping an operating point to energy per operation (pJ).
+        Both the SIMD processor and the Envision chip provide such a model.
+    """
+
+    def __init__(
+        self,
+        operating_points: Sequence[OperatingPoint],
+        energy_model: Callable[[OperatingPoint], float],
+    ):
+        if not operating_points:
+            raise ValueError("at least one operating point is required")
+        self._points = list(operating_points)
+        self._energy_model = energy_model
+
+    @property
+    def operating_points(self) -> list[OperatingPoint]:
+        """Available operating points."""
+        return list(self._points)
+
+    def feasible_points(self, required_bits: int) -> list[OperatingPoint]:
+        """Operating points whose precision satisfies ``required_bits``."""
+        return [point for point in self._points if point.precision >= required_bits]
+
+    def select(self, requirement: PrecisionRequirement) -> ScheduledTask:
+        """Pick the lowest-energy feasible mode for one requirement.
+
+        Raises
+        ------
+        ValueError
+            If no operating point offers enough precision.
+        """
+        feasible = self.feasible_points(requirement.required_bits)
+        if not feasible:
+            best = max(point.precision for point in self._points)
+            raise ValueError(
+                f"task {requirement.name!r} needs {requirement.required_bits} bits "
+                f"but the hardware offers at most {best}"
+            )
+        best_point = min(feasible, key=self._energy_model)
+        return ScheduledTask(
+            requirement=requirement,
+            operating_point=best_point,
+            energy_per_operation_pj=self._energy_model(best_point),
+        )
+
+    def schedule(
+        self, requirements: Iterable[PrecisionRequirement]
+    ) -> list[ScheduledTask]:
+        """Schedule every task independently (per-layer DVAFS reconfiguration)."""
+        return [self.select(requirement) for requirement in requirements]
+
+    def total_energy_pj(self, requirements: Iterable[PrecisionRequirement]) -> float:
+        """Total energy of a schedule (pJ)."""
+        return sum(task.total_energy_pj for task in self.schedule(requirements))
+
+    def uniform_precision_energy_pj(
+        self, requirements: Iterable[PrecisionRequirement]
+    ) -> float:
+        """Energy if a single precision had to serve all tasks.
+
+        The single precision is the maximum requirement -- this is the
+        baseline a non-layer-adaptive accelerator would pay, and the
+        comparison quantifies the benefit of per-layer scaling.
+        """
+        requirements = list(requirements)
+        if not requirements:
+            return 0.0
+        worst_case = max(req.required_bits for req in requirements)
+        energy = 0.0
+        for requirement in requirements:
+            pinned = PrecisionRequirement(
+                name=requirement.name,
+                required_bits=worst_case,
+                operations=requirement.operations,
+            )
+            energy += self.select(pinned).total_energy_pj
+        return energy

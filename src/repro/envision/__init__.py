@@ -1,0 +1,33 @@
+"""Envision CNN-processor model (Section V of the paper)."""
+
+from .chip import EnvisionChip, EnvisionSpecs, LayerExecution
+from .modes import ENVISION_MODES, EnvisionMode, mode_for_precision
+from .power import (
+    COMPONENT_FRACTIONS,
+    EnvisionPowerBreakdown,
+    EnvisionPowerModel,
+    REFERENCE_POWER_MW,
+)
+from .scheduler import (
+    EnvisionScheduler,
+    LayerWorkload,
+    NetworkSchedule,
+    PAPER_TABLE_III_WORKLOADS,
+)
+
+__all__ = [
+    "EnvisionChip",
+    "EnvisionSpecs",
+    "LayerExecution",
+    "ENVISION_MODES",
+    "EnvisionMode",
+    "mode_for_precision",
+    "COMPONENT_FRACTIONS",
+    "EnvisionPowerBreakdown",
+    "EnvisionPowerModel",
+    "REFERENCE_POWER_MW",
+    "EnvisionScheduler",
+    "LayerWorkload",
+    "NetworkSchedule",
+    "PAPER_TABLE_III_WORKLOADS",
+]

@@ -1,0 +1,217 @@
+"""Power model of the Envision chip.
+
+The model decomposes the chip's nominal 300 mW (1 x 16 b, 200 MHz, 1.1 V,
+dense 5 x 5 CONV layer, 73 % MAC efficiency) into four components and scales
+each with the run-time knobs DVAFS exposes:
+
+===============  ========  ========================================================
+component        fraction  scaling
+===============  ========  ========================================================
+MAC array        0.50      activity / k0 (1 x modes) or / k3 (subword, per cycle),
+                           times the sparsity-guarding factor, supply V_as
+accumulation &   0.17      activity ~ sqrt(precision / 16) (narrower adds/routing),
+operand routing            supply V_as
+on-chip SRAM     0.21      active bits per access (precision / 16 in 1 x modes,
+                           full word in subword modes), sparsity compression,
+                           supply V_nas
+control & fetch  0.12      constant activity, supply V_nas
+===============  ========  ========================================================
+
+The fractions are a documented modelling assumption (Envision's paper does
+not publish a component breakdown); they are chosen so the relative gains of
+Fig. 8 (2.4x DAS, 3.8x DVAS, ~7x / 17x DVAFS at 4 b) are reproduced.  The
+per-precision ``k`` factors default to the paper's Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.power_model import PAPER_TABLE_I, ScalingParameters
+from .modes import NOMINAL_FREQUENCY_MHZ, NOMINAL_VOLTAGE
+
+#: Measured Envision reference point: 300 mW at 1 x 16 b, 200 MHz, 1.1 V.
+REFERENCE_POWER_MW = 300.0
+
+#: Component fractions of the reference power.
+COMPONENT_FRACTIONS = {
+    "mac_array": 0.50,
+    "accumulation": 0.17,
+    "memory": 0.21,
+    "control": 0.12,
+}
+
+#: Fraction of a guarded MAC's energy that is actually saved (clock/data
+#: gating is not perfect).
+GUARD_EFFECTIVENESS = 0.95
+
+#: Fraction of memory traffic removed per unit of input sparsity (the
+#: compressed/skipped accesses of the sparsity scheme [12]).
+MEMORY_COMPRESSION_EFFECTIVENESS = 0.85
+
+
+def interpolate_scaling(
+    table: dict[int, ScalingParameters], precision: float, field: str
+) -> float:
+    """Log-linearly interpolate a ``k`` factor for an arbitrary precision.
+
+    Envision gates unused bits *within* a mode (a layer quantised to 9 bits
+    running in the 1 x 16 b mode still saves DAS-style activity), so the
+    activity factors are needed at precisions between the characterised
+    4 / 8 / 12 / 16 b points.  Values outside the table range are clamped.
+    """
+    import math
+
+    if not table:
+        raise ValueError("scaling table is empty")
+    points = sorted(table)
+    precision = min(max(precision, points[0]), points[-1])
+    for low, high in zip(points, points[1:]):
+        if low <= precision <= high:
+            k_low = getattr(table[low], field)
+            k_high = getattr(table[high], field)
+            if high == low:
+                return k_low
+            weight = (precision - low) / (high - low)
+            return math.exp(
+                (1.0 - weight) * math.log(k_low) + weight * math.log(k_high)
+            )
+    return getattr(table[points[-1]], field)
+
+
+@dataclass(frozen=True)
+class EnvisionPowerBreakdown:
+    """Per-component power of one Envision operating condition (mW)."""
+
+    mac_array_mw: float
+    accumulation_mw: float
+    memory_mw: float
+    control_mw: float
+
+    @property
+    def total_mw(self) -> float:
+        """Total chip power (mW)."""
+        return self.mac_array_mw + self.accumulation_mw + self.memory_mw + self.control_mw
+
+    def fractions(self) -> dict[str, float]:
+        """Fractional split per component."""
+        total = self.total_mw
+        if total <= 0:
+            return {name: 0.0 for name in COMPONENT_FRACTIONS}
+        return {
+            "mac_array": self.mac_array_mw / total,
+            "accumulation": self.accumulation_mw / total,
+            "memory": self.memory_mw / total,
+            "control": self.control_mw / total,
+        }
+
+
+class EnvisionPowerModel:
+    """Analytical Envision power model.
+
+    Parameters
+    ----------
+    scaling_table:
+        Per-precision k factors; defaults to the paper's Table I.
+    reference_power_mw:
+        Chip power at the 1 x 16 b / 200 MHz / 1.1 V reference point.
+    fractions:
+        Component split of the reference power.
+    """
+
+    def __init__(
+        self,
+        *,
+        scaling_table: dict[int, ScalingParameters] | None = None,
+        reference_power_mw: float = REFERENCE_POWER_MW,
+        fractions: dict[str, float] | None = None,
+    ):
+        if reference_power_mw <= 0:
+            raise ValueError("reference_power_mw must be positive")
+        self.scaling_table = dict(scaling_table or PAPER_TABLE_I)
+        self.reference_power_mw = reference_power_mw
+        self.fractions = dict(fractions or COMPONENT_FRACTIONS)
+        total = sum(self.fractions.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"component fractions must sum to 1, got {total}")
+
+    def scaling_for(self, precision: int) -> ScalingParameters:
+        """Scaling parameters for ``precision`` (must be in the table)."""
+        try:
+            return self.scaling_table[precision]
+        except KeyError as exc:
+            known = sorted(self.scaling_table)
+            raise KeyError(
+                f"no scaling parameters for {precision} bits; known: {known}"
+            ) from exc
+
+    def power(
+        self,
+        *,
+        precision: int,
+        parallelism: int,
+        frequency_mhz: float,
+        as_voltage: float,
+        nas_voltage: float,
+        technique: str = "DVAFS",
+        weight_sparsity: float = 0.0,
+        input_sparsity: float = 0.0,
+        actual_precision: float | None = None,
+    ) -> EnvisionPowerBreakdown:
+        """Chip power at an arbitrary operating condition.
+
+        ``technique`` selects the activity-scaling rule of the MAC array:
+        DAS/DVAS modes keep one word per MAC (activity / k0), the DVAFS
+        subword modes share the array between ``parallelism`` words per cycle
+        (activity / k3).  ``actual_precision`` is the precision the layer is
+        quantised to, which may be lower than the mode's ``precision`` --
+        the unused bits are still gated DAS-style inside the mode.
+        """
+        technique = technique.upper()
+        if technique not in ("DAS", "DVAS", "DVAFS"):
+            raise ValueError(f"unknown technique {technique!r}")
+        if not 0.0 <= weight_sparsity <= 1.0 or not 0.0 <= input_sparsity <= 1.0:
+            raise ValueError("sparsities must be in [0, 1]")
+        if parallelism < 1:
+            raise ValueError("parallelism must be at least 1")
+        actual = float(precision if actual_precision is None else actual_precision)
+        if actual > precision:
+            raise ValueError("actual_precision cannot exceed the mode precision")
+
+        guard_rate = 1.0 - (1.0 - weight_sparsity) * (1.0 - input_sparsity)
+        guard_factor = 1.0 - GUARD_EFFECTIVENESS * guard_rate
+
+        if technique == "DVAFS" and parallelism > 1:
+            mac_activity = guard_factor / interpolate_scaling(self.scaling_table, actual, "k3")
+            memory_bits_factor = 1.0
+        else:
+            mac_activity = guard_factor / interpolate_scaling(self.scaling_table, actual, "k0")
+            memory_bits_factor = actual / 16.0
+        accumulation_activity = guard_factor * (actual / 16.0) ** 0.5
+        memory_activity = memory_bits_factor * (
+            1.0 - MEMORY_COMPRESSION_EFFECTIVENESS * input_sparsity
+        )
+
+        frequency_factor = frequency_mhz / NOMINAL_FREQUENCY_MHZ
+        as_scale = (as_voltage / NOMINAL_VOLTAGE) ** 2
+        nas_scale = (nas_voltage / NOMINAL_VOLTAGE) ** 2
+
+        reference = self.reference_power_mw
+        mac = reference * self.fractions["mac_array"] * mac_activity * frequency_factor * as_scale
+        accumulation = (
+            reference
+            * self.fractions["accumulation"]
+            * accumulation_activity
+            * frequency_factor
+            * as_scale
+        )
+        memory = (
+            reference * self.fractions["memory"] * memory_activity * frequency_factor * nas_scale
+        )
+        control = reference * self.fractions["control"] * frequency_factor * nas_scale
+        return EnvisionPowerBreakdown(
+            mac_array_mw=mac,
+            accumulation_mw=accumulation,
+            memory_mw=memory,
+            control_mw=control,
+        )

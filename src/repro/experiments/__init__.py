@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+============  ===========================================================
+module        reproduces
+============  ===========================================================
+``table1``    Table I  -- multiplier scaling parameters k0..k5, N
+``fig2``      Fig. 2   -- frequency / slack / voltage / activity vs bits
+``fig3``      Fig. 3a  -- multiplier energy vs precision,
+              Fig. 3b  -- energy vs RMSE against baselines [3]-[5], [8]
+``fig4``      Fig. 4   -- SIMD processor energy vs precision (SW = 8, 64)
+``table2``    Table II -- SIMD processor power distribution per mode
+``fig6``      Fig. 6   -- per-layer minimum precision (LeNet-5, AlexNet)
+``fig8``      Fig. 8   -- Envision energy vs precision (const f / const T)
+``table3``    Table III-- per-layer power/efficiency of VGG16/AlexNet/LeNet
+============  ===========================================================
+
+Each module exposes ``run(**kwargs) -> list[dict]`` returning the raw rows
+and ``report(**kwargs) -> str`` returning the formatted table.
+"""
+
+from . import fig2, fig3, fig4, fig6, fig8, table1, table2, table3
+
+#: Registry of all experiments, keyed by the paper artefact they regenerate.
+EXPERIMENTS = {
+    "table1": table1,
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "table2": table2,
+    "fig6": fig6,
+    "fig8": fig8,
+    "table3": table3,
+}
+
+__all__ = ["EXPERIMENTS", "fig2", "fig3", "fig4", "fig6", "fig8", "table1", "table2", "table3"]

@@ -1,0 +1,51 @@
+"""Fig. 2: frequency, slack, supply voltage and activity vs. precision.
+
+Four series at constant 500 MOPS throughput for the Booth-Wallace multiplier:
+
+* (a) operating frequency of the DVAFS modes,
+* (b) positive slack at the nominal 1.1 V supply (DAS/DVAS vs. DVAFS),
+* (c) minimum supply voltage at zero positive slack,
+* (d) relative switching activity (DAS/DVAS per word, DVAFS per cycle).
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import format_table
+from ..core.scaling import MultiplierCharacterization, characterize_multiplier
+
+
+def run(
+    *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
+) -> list[dict[str, object]]:
+    """One record per precision with every Fig. 2 quantity."""
+    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    das_activity = characterization.relative_activity("das")
+    dvafs_activity = characterization.relative_activity("dvafs")
+    rows = []
+    for precision in sorted(characterization.profiles, reverse=True):
+        profile = characterization.profiles[precision]
+        rows.append(
+            {
+                "precision": precision,
+                "frequency_mhz (2a)": profile.frequency_mhz,
+                "das_slack_ns (2b)": round(profile.das_slack_ns, 2),
+                "dvafs_slack_ns (2b)": round(profile.dvafs_slack_ns, 2),
+                "dvas_voltage (2c)": round(profile.dvas_voltage, 2),
+                "dvafs_voltage (2c)": round(profile.dvafs_as_voltage, 2),
+                "das_activity (2d)": round(das_activity[precision], 3),
+                "dvafs_activity (2d)": round(dvafs_activity[precision], 3),
+            }
+        )
+    return rows
+
+
+def report(**kwargs) -> str:
+    """Formatted Fig. 2 reproduction."""
+    return format_table(
+        run(**kwargs),
+        title="Fig. 2: multiplier frequency / slack / voltage / activity vs precision",
+    )
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,116 @@
+"""Fig. 3: multiplier energy-accuracy trade-off and baseline comparison.
+
+* Fig. 3a -- energy per word of the DAS, DVAS and DVAFS multipliers vs.
+  precision, normalised to the non-reconfigurable 16 b multiplier.
+* Fig. 3b -- the same DVAFS curve on an RMSE axis, compared against the
+  approximate-multiplier baselines [3], [3]+VS, [4], [5] and [8].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.reporting import format_table
+from ..arithmetic.baselines import all_baseline_curves
+from ..arithmetic.fixed_point import quantization_rmse
+from ..core.pareto import TradeoffPoint, pareto_front
+from ..core.scaling import (
+    MultiplierCharacterization,
+    characterize_multiplier,
+    multiplier_energy_curves,
+)
+
+
+def run_fig3a(
+    *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
+) -> list[dict[str, object]]:
+    """Energy/word (relative to the plain 16 b multiplier) per technique and precision."""
+    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    rows = []
+    for point in multiplier_energy_curves(characterization):
+        rows.append(
+            {
+                "technique": point.technique,
+                "precision": point.precision,
+                "parallelism": point.parallelism,
+                "relative_energy": round(point.relative_energy, 4),
+                "energy_pj": round(point.energy_per_word_pj, 3),
+                "as_voltage": round(point.voltage_as, 2),
+                "frequency_mhz": point.frequency_mhz,
+            }
+        )
+    return rows
+
+
+def run_fig3b(
+    *,
+    samples: int = 300,
+    rmse_samples: int = 1500,
+    seed: int = 2017,
+    characterization: MultiplierCharacterization | None = None,
+) -> list[dict[str, object]]:
+    """Relative energy vs. RMSE for DVAFS and the baselines of [3]-[5], [8]."""
+    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    rng = np.random.default_rng(seed)
+    operand_values = rng.uniform(-1.0, 1.0, size=rmse_samples)
+
+    rows: list[dict[str, object]] = []
+    for point in multiplier_energy_curves(characterization):
+        if point.technique != "DVAFS":
+            continue
+        # RMSE of quantising both operands to `precision` bits, propagated to
+        # the product of values in [-1, 1).
+        input_rmse = quantization_rmse(point.precision, operand_values)
+        product_rmse = float(np.sqrt(2.0) * input_rmse * np.mean(np.abs(operand_values)))
+        rows.append(
+            {
+                "scheme": "DVAFS",
+                "configuration": f"{point.parallelism}x{point.precision}b",
+                "rmse": product_rmse,
+                "relative_energy": round(point.relative_energy, 4),
+                "runtime_adaptive": True,
+            }
+        )
+    for name, points in all_baseline_curves().items():
+        for baseline_point in points:
+            rows.append(
+                {
+                    "scheme": name,
+                    "configuration": baseline_point.label,
+                    "rmse": baseline_point.rmse,
+                    "relative_energy": round(baseline_point.relative_energy, 4),
+                    "runtime_adaptive": baseline_point.runtime_adaptive,
+                }
+            )
+    return rows
+
+
+def dvafs_dominance(rows: list[dict[str, object]]) -> float:
+    """Fraction of baseline points dominated by the DVAFS curve (Fig. 3b claim)."""
+    dvafs = [
+        TradeoffPoint(float(r["rmse"]), float(r["relative_energy"]), str(r["configuration"]))
+        for r in rows
+        if r["scheme"] == "DVAFS"
+    ]
+    others = [
+        TradeoffPoint(float(r["rmse"]), float(r["relative_energy"]), str(r["configuration"]))
+        for r in rows
+        if r["scheme"] != "DVAFS"
+    ]
+    if not others:
+        return 0.0
+    front = pareto_front(dvafs + others)
+    dvafs_on_front = sum(1 for point in front if any(point is d for d in dvafs))
+    return dvafs_on_front / len(front)
+
+
+def report(**kwargs) -> str:
+    """Formatted Fig. 3a and Fig. 3b reproduction."""
+    text = format_table(run_fig3a(**kwargs), title="Fig. 3a: multiplier energy per word vs precision")
+    text += "\n"
+    text += format_table(run_fig3b(**kwargs), title="Fig. 3b: relative energy vs RMSE (DVAFS vs baselines)")
+    return text
+
+
+if __name__ == "__main__":
+    print(report())

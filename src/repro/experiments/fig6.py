@@ -1,0 +1,107 @@
+"""Fig. 6: minimum per-layer precision of LeNet-5 and AlexNet.
+
+For every weighted layer the smallest weight and input-feature-map precision
+is found that keeps the network at >= 99 % relative accuracy.
+
+* **LeNet-5** is trained from scratch on the synthetic digit task (the MNIST
+  stand-in) and evaluated against ground-truth labels.
+* **AlexNet** is instantiated at reduced spatial resolution with synthetic
+  weights and evaluated with the top-1-agreement proxy on synthetic natural
+  images, because ImageNet is not available offline; the layer structure and
+  therefore the depth-dependent error propagation are preserved.
+"""
+
+from __future__ import annotations
+
+from ..analysis.reporting import format_table
+from ..nn import (
+    PrecisionSearch,
+    Trainer,
+    alexnet,
+    lenet5,
+    synthetic_digits,
+    synthetic_natural_images,
+)
+
+
+def run_lenet(
+    *,
+    train_samples: int = 400,
+    test_samples: int = 100,
+    image_size: int = 16,
+    epochs: int = 6,
+    evaluation_samples: int = 40,
+    seed: int = 2017,
+) -> list[dict[str, object]]:
+    """Per-layer minimum precisions of a LeNet-5 trained on synthetic digits."""
+    dataset = synthetic_digits(
+        train_samples=train_samples, test_samples=test_samples, size=image_size, seed=seed
+    )
+    network = lenet5(input_size=image_size, seed=seed)
+    trainer = Trainer(network, learning_rate=0.1)
+    history = trainer.fit(dataset, epochs=epochs, batch_size=25, seed=seed)
+    search = PrecisionSearch(
+        network,
+        dataset.test_images[:evaluation_samples],
+        labels=dataset.test_labels[:evaluation_samples],
+    )
+    rows = []
+    for index, profile in enumerate(search.profile()):
+        rows.append(
+            {
+                "network": "LeNet-5",
+                "layer_index": index,
+                "layer": profile.layer,
+                "weight_bits": profile.weight_bits,
+                "activation_bits": profile.activation_bits,
+                "baseline_accuracy": round(history.final_accuracy, 3),
+            }
+        )
+    return rows
+
+
+def run_alexnet(
+    *,
+    input_size: int = 67,
+    evaluation_samples: int = 12,
+    seed: int = 2017,
+) -> list[dict[str, object]]:
+    """Per-layer minimum precisions of the AlexNet stand-in (agreement proxy)."""
+    network = alexnet(input_size=input_size, num_classes=50, seed=seed)
+    dataset = synthetic_natural_images(
+        samples=evaluation_samples, size=input_size, seed=seed, num_classes=10
+    )
+    search = PrecisionSearch(network, dataset.train_images[:evaluation_samples])
+    rows = []
+    for index, profile in enumerate(search.profile()):
+        rows.append(
+            {
+                "network": "AlexNet",
+                "layer_index": index,
+                "layer": profile.layer,
+                "weight_bits": profile.weight_bits,
+                "activation_bits": profile.activation_bits,
+                "baseline_accuracy": 1.0,
+            }
+        )
+    return rows
+
+
+def run(**kwargs) -> list[dict[str, object]]:
+    """Both networks' per-layer precision profiles (the Fig. 6 data)."""
+    lenet_kwargs = {k: v for k, v in kwargs.items() if k in (
+        "train_samples", "test_samples", "image_size", "epochs", "evaluation_samples", "seed")}
+    alexnet_kwargs = {k: v for k, v in kwargs.items() if k in ("input_size", "seed")}
+    return run_lenet(**lenet_kwargs) + run_alexnet(**alexnet_kwargs)
+
+
+def report(**kwargs) -> str:
+    """Formatted Fig. 6 reproduction."""
+    return format_table(
+        run(**kwargs),
+        title="Fig. 6: minimum per-layer precision at 99% relative accuracy",
+    )
+
+
+if __name__ == "__main__":
+    print(report())

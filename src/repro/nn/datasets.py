@@ -1,0 +1,160 @@
+"""Synthetic datasets standing in for MNIST / ImageNet / LFW.
+
+The original benchmarks are not available offline, so the quantisation and
+scheduling experiments run on procedurally generated data:
+
+* :func:`synthetic_digits` renders noisy, randomly shifted 7-segment-style
+  digit glyphs -- a classification task of the same flavour and difficulty
+  class as MNIST, solvable by a LeNet-style network trained from scratch.
+* :func:`synthetic_natural_images` generates class-conditional coloured blob
+  images used as inputs for the AlexNet / VGG16 relative-accuracy proxies.
+
+Both are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Seven-segment encoding of the digits 0-9: segments are
+#: (top, top-left, top-right, middle, bottom-left, bottom-right, bottom).
+_SEGMENTS = {
+    0: (1, 1, 1, 0, 1, 1, 1),
+    1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1),
+    3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0),
+    5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1),
+    7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1),
+    9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """A labelled dataset split into train and test partitions."""
+
+    train_images: np.ndarray
+    train_labels: np.ndarray
+    test_images: np.ndarray
+    test_labels: np.ndarray
+
+    @property
+    def input_shape(self) -> tuple[int, ...]:
+        """Shape of a single sample."""
+        return tuple(self.train_images.shape[1:])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct labels."""
+        return int(max(self.train_labels.max(), self.test_labels.max())) + 1
+
+
+def _render_digit(digit: int, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Render one noisy, randomly shifted digit glyph on a ``size x size`` canvas."""
+    glyph_h, glyph_w = size * 3 // 4, size // 2
+    thickness = max(1, size // 10)
+    canvas = np.zeros((size, size))
+    top = (size - glyph_h) // 2 + rng.integers(-size // 10, size // 10 + 1)
+    left = (size - glyph_w) // 2 + rng.integers(-size // 10, size // 10 + 1)
+    top = int(np.clip(top, 0, size - glyph_h))
+    left = int(np.clip(left, 0, size - glyph_w))
+
+    segments = _SEGMENTS[digit]
+    mid = top + glyph_h // 2
+    bottom = top + glyph_h - thickness
+    right = left + glyph_w - thickness
+    strokes = {
+        0: (slice(top, top + thickness), slice(left, left + glyph_w)),
+        1: (slice(top, mid), slice(left, left + thickness)),
+        2: (slice(top, mid), slice(right, right + thickness)),
+        3: (slice(mid, mid + thickness), slice(left, left + glyph_w)),
+        4: (slice(mid, bottom + thickness), slice(left, left + thickness)),
+        5: (slice(mid, bottom + thickness), slice(right, right + thickness)),
+        6: (slice(bottom, bottom + thickness), slice(left, left + glyph_w)),
+    }
+    for index, active in enumerate(segments):
+        if active:
+            rows, cols = strokes[index]
+            canvas[rows, cols] = 1.0
+
+    canvas += rng.normal(0.0, 0.15, size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0)
+
+
+def synthetic_digits(
+    *,
+    train_samples: int = 1000,
+    test_samples: int = 200,
+    size: int = 28,
+    seed: int = 2017,
+) -> Dataset:
+    """Procedurally generated digit-classification dataset (MNIST stand-in)."""
+    if size < 12:
+        raise ValueError("size must be at least 12")
+    rng = np.random.default_rng(seed)
+
+    def generate(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, 10, size=count)
+        images = np.stack([_render_digit(int(label), size, rng) for label in labels])
+        return images[:, None, :, :], labels
+
+    train_images, train_labels = generate(train_samples)
+    test_images, test_labels = generate(test_samples)
+    return Dataset(
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+    )
+
+
+def synthetic_natural_images(
+    *,
+    samples: int = 32,
+    size: int = 64,
+    channels: int = 3,
+    num_classes: int = 10,
+    seed: int = 2017,
+) -> Dataset:
+    """Class-conditional coloured blob images (ImageNet/LFW stand-in).
+
+    Each class has a characteristic set of blob locations and colours, so a
+    feature-extracting network produces class-dependent outputs and the
+    top-1-agreement relative-accuracy proxy is meaningful.
+    """
+    if size < 16:
+        raise ValueError("size must be at least 16")
+    rng = np.random.default_rng(seed)
+    class_blobs = rng.uniform(0.2, 0.8, size=(num_classes, 3, 2))
+    class_colors = rng.uniform(0.2, 1.0, size=(num_classes, 3, channels))
+
+    ys, xs = np.mgrid[0:size, 0:size] / size
+
+    def generate(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        images = np.zeros((count, channels, size, size))
+        for index, label in enumerate(labels):
+            for blob in range(3):
+                cy, cx = class_blobs[label, blob]
+                cy += rng.normal(0, 0.05)
+                cx += rng.normal(0, 0.05)
+                radius = 0.12 + rng.uniform(-0.03, 0.03)
+                mask = np.exp(-(((ys - cy) ** 2 + (xs - cx) ** 2) / (2 * radius**2)))
+                for channel in range(channels):
+                    images[index, channel] += class_colors[label, blob, channel] * mask
+            images[index] += rng.normal(0.0, 0.05, size=(channels, size, size))
+        return np.clip(images, 0.0, 1.0), labels
+
+    train_images, train_labels = generate(samples)
+    test_images, test_labels = generate(max(1, samples // 4))
+    return Dataset(
+        train_images=train_images,
+        train_labels=train_labels,
+        test_images=test_images,
+        test_labels=test_labels,
+    )

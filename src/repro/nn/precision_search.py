@@ -1,0 +1,149 @@
+"""Per-layer minimum-precision search (Fig. 6 of the paper).
+
+Following the methodology of the paper's reference [22], the precision of
+one layer at a time is reduced until the network's *relative accuracy* drops
+below a target (99 % in the paper), while all other layers stay at full
+precision.  The search is run separately for weights and for input feature
+maps, producing the two per-layer bit profiles plotted in Fig. 6.
+
+Relative accuracy is measured either against ground-truth labels (for
+networks we can train, e.g. LeNet-5 on the synthetic digit task) or as
+top-1 agreement with the floating-point model (for the AlexNet / VGG16
+stand-ins whose original training data is unavailable offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.metrics import classification_accuracy, top1_agreement
+from .network import Network
+from .quantization import QuantizationConfig
+
+
+@dataclass(frozen=True)
+class LayerPrecisionProfile:
+    """Minimum bits found for one layer.
+
+    Attributes
+    ----------
+    layer:
+        Layer name.
+    weight_bits:
+        Minimum weight precision meeting the accuracy target.
+    activation_bits:
+        Minimum input-feature-map precision meeting the accuracy target.
+    """
+
+    layer: str
+    weight_bits: int
+    activation_bits: int
+
+    @property
+    def required_bits(self) -> int:
+        """Datapath precision the layer needs (max of the two profiles)."""
+        return max(self.weight_bits, self.activation_bits)
+
+
+class PrecisionSearch:
+    """Finds per-layer minimum precisions at a relative-accuracy target.
+
+    Parameters
+    ----------
+    network:
+        Network under test.
+    samples:
+        Evaluation inputs ``(n, *input_shape)``.
+    labels:
+        Ground-truth labels; if ``None`` the floating-point model's
+        predictions are used as the reference (top-1 agreement).
+    relative_accuracy_target:
+        Minimum allowed accuracy relative to the floating-point baseline
+        (0.99 in the paper).
+    candidate_bits:
+        Bit widths tried, from low to high.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        samples: np.ndarray,
+        *,
+        labels: np.ndarray | None = None,
+        relative_accuracy_target: float = 0.99,
+        candidate_bits: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 16),
+    ):
+        if not 0.0 < relative_accuracy_target <= 1.0:
+            raise ValueError("relative_accuracy_target must be in (0, 1]")
+        if not candidate_bits:
+            raise ValueError("candidate_bits must not be empty")
+        self.network = network
+        self.samples = np.asarray(samples, dtype=np.float64)
+        self.labels = None if labels is None else np.asarray(labels)
+        self.relative_accuracy_target = relative_accuracy_target
+        self.candidate_bits = tuple(sorted(candidate_bits))
+        self._baseline_logits = network.forward_batch(self.samples)
+        self._baseline_predictions = np.argmax(self._baseline_logits, axis=1)
+
+    # -- accuracy evaluation ---------------------------------------------------
+
+    def baseline_accuracy(self) -> float:
+        """Accuracy of the floating-point model (1.0 under the agreement proxy)."""
+        if self.labels is None:
+            return 1.0
+        return classification_accuracy(self._baseline_logits, self.labels)
+
+    def relative_accuracy(self, configs: dict[str, QuantizationConfig]) -> float:
+        """Relative accuracy of the network under the given quantisation."""
+        logits = self.network.forward_batch(self.samples, configs=configs)
+        if self.labels is None:
+            return top1_agreement(self._baseline_logits, logits)
+        baseline = self.baseline_accuracy()
+        if baseline == 0:
+            raise ValueError("baseline accuracy is zero; cannot compute relative accuracy")
+        return classification_accuracy(logits, self.labels) / baseline
+
+    # -- search ------------------------------------------------------------------
+
+    def minimum_bits_for_layer(self, layer_name: str, *, target: str) -> int:
+        """Smallest precision of ``target`` (``"weights"``/``"activations"``) for one layer."""
+        if target not in ("weights", "activations"):
+            raise ValueError("target must be 'weights' or 'activations'")
+        layer_names = [layer.name for layer in self.network.weighted_layers()]
+        if layer_name not in layer_names:
+            raise ValueError(f"unknown weighted layer {layer_name!r}")
+        for bits in self.candidate_bits:
+            if target == "weights":
+                config = QuantizationConfig(weight_bits=bits)
+            else:
+                config = QuantizationConfig(activation_bits=bits)
+            accuracy = self.relative_accuracy({layer_name: config})
+            if accuracy >= self.relative_accuracy_target:
+                return bits
+        return self.candidate_bits[-1]
+
+    def profile(self) -> list[LayerPrecisionProfile]:
+        """Per-layer minimum weight and activation precisions (Fig. 6 data)."""
+        profiles = []
+        for layer in self.network.weighted_layers():
+            weight_bits = self.minimum_bits_for_layer(layer.name, target="weights")
+            activation_bits = self.minimum_bits_for_layer(layer.name, target="activations")
+            profiles.append(
+                LayerPrecisionProfile(
+                    layer=layer.name,
+                    weight_bits=weight_bits,
+                    activation_bits=activation_bits,
+                )
+            )
+        return profiles
+
+    def uniform_configs(self, profiles: list[LayerPrecisionProfile]) -> dict[str, QuantizationConfig]:
+        """Quantisation configs applying every layer's found precisions at once."""
+        return {
+            profile.layer: QuantizationConfig(
+                weight_bits=profile.weight_bits, activation_bits=profile.activation_bits
+            )
+            for profile in profiles
+        }

@@ -1,0 +1,103 @@
+"""Fixed-point quantisation of CNN weights and activations.
+
+The paper's precision-scaling argument (Section IV-B, Fig. 6) rests on
+uniform symmetric fixed-point quantisation: a tensor is scaled by a power of
+two chosen from its dynamic range and rounded to ``bits``-bit signed
+integers.  The same machinery drives both the per-layer precision search of
+Fig. 6 and the quantised inference that feeds the Envision energy model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Per-layer quantisation setting.
+
+    Attributes
+    ----------
+    weight_bits:
+        Precision of the layer weights (None = keep floating point).
+    activation_bits:
+        Precision of the layer input activations (None = keep floating point).
+    """
+
+    weight_bits: int | None = None
+    activation_bits: int | None = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("weight_bits", self.weight_bits), ("activation_bits", self.activation_bits)):
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be positive or None")
+
+    @property
+    def required_bits(self) -> int:
+        """Datapath precision needed by this configuration (max of the two)."""
+        candidates = [bits for bits in (self.weight_bits, self.activation_bits) if bits]
+        return max(candidates) if candidates else 16
+
+
+def quantization_scale(tensor: np.ndarray, bits: int) -> float:
+    """Power-of-two scale mapping ``tensor`` onto ``bits``-bit signed integers.
+
+    The scale is the smallest power of two that covers the tensor's maximum
+    absolute value, which keeps dequantisation a pure shift (as fixed-point
+    hardware does).
+    """
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    if max_abs == 0.0:
+        return 1.0
+    # Want max_abs <= scale * levels; choose scale = 2**e.  A 1-bit code has
+    # a single magnitude level (BinaryNet-style +-scale).
+    levels = max(1, 2 ** (bits - 1) - 1)
+    exponent = np.ceil(np.log2(max_abs / levels))
+    return float(2.0**exponent)
+
+
+def quantize(tensor: np.ndarray, bits: int | None) -> np.ndarray:
+    """Quantise ``tensor`` to ``bits``-bit fixed point (returns dequantised floats).
+
+    ``bits=None`` returns the tensor unchanged (floating-point reference).
+    """
+    if bits is None:
+        return np.asarray(tensor, dtype=np.float64)
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if bits == 1:
+        # Binary quantisation (the Courbariaux et al. regime cited in the
+        # paper): values become +-scale, with scale set by the mean magnitude.
+        scale = float(np.mean(np.abs(tensor))) if tensor.size else 1.0
+        if scale == 0.0:
+            return np.zeros_like(tensor)
+        return np.where(tensor >= 0.0, scale, -scale)
+    scale = quantization_scale(tensor, bits)
+    lo = -(2 ** (bits - 1))
+    hi = 2 ** (bits - 1) - 1
+    codes = np.clip(np.round(tensor / scale), lo, hi)
+    return codes * scale
+
+
+def quantize_to_codes(tensor: np.ndarray, bits: int) -> tuple[np.ndarray, float]:
+    """Quantise and return ``(integer codes, scale)`` for integer pipelines."""
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    tensor = np.asarray(tensor, dtype=np.float64)
+    scale = quantization_scale(tensor, bits)
+    lo = -(2 ** (bits - 1))
+    hi = max(1, 2 ** (bits - 1) - 1)
+    codes = np.clip(np.round(tensor / scale), lo, hi).astype(np.int64)
+    return codes, scale
+
+
+def quantization_error(tensor: np.ndarray, bits: int) -> float:
+    """RMS quantisation error of ``tensor`` at ``bits`` precision."""
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((quantize(tensor, bits) - tensor) ** 2)))

@@ -1,0 +1,121 @@
+"""Two-pass assembler for the SIMD processor's assembly language.
+
+Syntax example::
+
+    ; 1-D convolution inner loop
+        li      r1, 0            ; output index
+    loop:
+        vclr
+        vload   v0, r1, 0
+        vbcast  v1, r2
+        vmac    v0, v1
+        vstacc  v2
+        vstore  v2, r1, 64
+        addi    r1, r1, 1
+        blt     r1, r3, loop
+        halt
+
+Comments start with ``;`` or ``#``; labels end with ``:``.  Scalar registers
+are ``r0``-``r15``, vector registers ``v0``-``v7``; immediates may be decimal
+or ``0x`` hexadecimal.
+"""
+
+from __future__ import annotations
+
+from .isa import OPERAND_SIGNATURES, Instruction, Opcode, Program
+
+
+class AssemblerError(ValueError):
+    """Raised for malformed assembly input, with line information."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_register(token: str, prefix: str, line_number: int) -> int:
+    token = token.lower()
+    if not token.startswith(prefix):
+        raise AssemblerError(line_number, f"expected {prefix}-register, got {token!r}")
+    try:
+        return int(token[len(prefix):])
+    except ValueError as exc:
+        raise AssemblerError(line_number, f"bad register {token!r}") from exc
+
+
+def _parse_immediate(token: str, line_number: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblerError(line_number, f"bad immediate {token!r}") from exc
+
+
+def assemble(source: str) -> Program:
+    """Assemble ``source`` text into a :class:`~repro.simd.isa.Program`."""
+    # First pass: collect labels and the raw instruction tokens.
+    labels: dict[str, int] = {}
+    pending: list[tuple[int, str, list[str]]] = []
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line)
+        if not line:
+            continue
+        while line.split()[0].endswith(":") if line.split() else False:
+            label, _, rest = line.partition(":")
+            label = label.strip()
+            if not label.isidentifier():
+                raise AssemblerError(line_number, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblerError(line_number, f"duplicate label {label!r}")
+            labels[label] = len(pending)
+            line = rest.strip()
+            if not line:
+                break
+        if not line:
+            continue
+        parts = line.replace(",", " ").split()
+        mnemonic, operands = parts[0].lower(), parts[1:]
+        pending.append((line_number, mnemonic, operands))
+
+    # Second pass: resolve opcodes, operand kinds and branch targets.
+    program = Program(labels=dict(labels))
+    for line_number, mnemonic, tokens in pending:
+        try:
+            opcode = Opcode(mnemonic)
+        except ValueError as exc:
+            raise AssemblerError(line_number, f"unknown opcode {mnemonic!r}") from exc
+        signature = OPERAND_SIGNATURES[opcode]
+        if len(tokens) != len(signature):
+            raise AssemblerError(
+                line_number,
+                f"{mnemonic} expects {len(signature)} operands, got {len(tokens)}",
+            )
+        operands: list[int] = []
+        for kind, token in zip(signature, tokens):
+            if kind == "r":
+                operands.append(_parse_register(token, "r", line_number))
+            elif kind == "v":
+                operands.append(_parse_register(token, "v", line_number))
+            elif kind == "i":
+                operands.append(_parse_immediate(token, line_number))
+            elif kind == "l":
+                if token not in labels:
+                    raise AssemblerError(line_number, f"undefined label {token!r}")
+                operands.append(labels[token])
+            else:  # pragma: no cover - signatures are static
+                raise AssemblerError(line_number, f"bad signature kind {kind!r}")
+        source_text = f"{mnemonic} " + ", ".join(tokens) if tokens else mnemonic
+        try:
+            program.instructions.append(
+                Instruction(opcode=opcode, operands=tuple(operands), source=source_text)
+            )
+        except ValueError as exc:
+            raise AssemblerError(line_number, str(exc)) from exc
+    return program

@@ -1,0 +1,181 @@
+"""Instruction set of the DVAFS-compatible SIMD RISC vector processor.
+
+The paper's system-level study (Section III-B) uses an ASIP: a small RISC
+core with an ``SW``-lane vector datapath whose precision can be scaled across
+``1 x 1-16b``, ``2 x 1-8b`` and ``4 x 1-4b`` DVAFS modes.  This module defines
+the instruction set of our re-implementation; the semantics live in
+:mod:`repro.simd.processor` and :mod:`repro.simd.vector_unit`.
+
+Scalar instructions operate on 16 general-purpose registers (``r0`` is
+hard-wired to zero); vector instructions operate on 8 vector registers of
+``SW`` lanes plus a per-lane accumulator file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, unique
+
+
+@unique
+class Opcode(Enum):
+    """Opcodes of the SIMD processor."""
+
+    # Scalar ALU / control.
+    LI = "li"          # li rd, imm
+    ADD = "add"        # add rd, rs, rt
+    ADDI = "addi"      # addi rd, rs, imm
+    SUB = "sub"        # sub rd, rs, rt
+    MUL = "mul"        # mul rd, rs, rt
+    BNE = "bne"        # bne rs, rt, label
+    BLT = "blt"        # blt rs, rt, label
+    JMP = "jmp"        # jmp label
+    NOP = "nop"        # nop
+    HALT = "halt"      # halt
+
+    # Vector memory.
+    VLOAD = "vload"    # vload vd, rs, imm    (lane l reads bank l at rs+imm)
+    VSTORE = "vstore"  # vstore vs, rs, imm   (lane l writes bank l at rs+imm)
+    VBCAST = "vbcast"  # vbcast vd, rs        (broadcast scalar to all lanes)
+
+    # Vector arithmetic.
+    VMAC = "vmac"      # vmac va, vb          (acc[l] += va[l] * vb[l])
+    VMUL = "vmul"      # vmul vd, va, vb
+    VADD = "vadd"      # vadd vd, va, vb
+    VRELU = "vrelu"    # vrelu vd, va
+    VCLR = "vclr"      # vclr                 (acc[l] = 0)
+    VSTACC = "vstacc"  # vstacc vd            (vd[l] = saturate(acc[l]))
+
+    # Power management.
+    SETPREC = "setprec"  # setprec imm        (precision in bits: 16, 8 or 4)
+
+
+#: Scalar register count (r0 is hard-wired to zero).
+SCALAR_REGISTERS = 16
+#: Vector register count.
+VECTOR_REGISTERS = 8
+
+#: Operand signature per opcode: ``r`` scalar register, ``v`` vector register,
+#: ``i`` immediate, ``l`` label.  Used by the assembler and by instruction
+#: validation.
+OPERAND_SIGNATURES: dict[Opcode, str] = {
+    Opcode.LI: "ri",
+    Opcode.ADD: "rrr",
+    Opcode.ADDI: "rri",
+    Opcode.SUB: "rrr",
+    Opcode.MUL: "rrr",
+    Opcode.BNE: "rrl",
+    Opcode.BLT: "rrl",
+    Opcode.JMP: "l",
+    Opcode.NOP: "",
+    Opcode.HALT: "",
+    Opcode.VLOAD: "vri",
+    Opcode.VSTORE: "vri",
+    Opcode.VBCAST: "vr",
+    Opcode.VMAC: "vv",
+    Opcode.VMUL: "vvv",
+    Opcode.VADD: "vvv",
+    Opcode.VRELU: "vv",
+    Opcode.VCLR: "",
+    Opcode.VSTACC: "v",
+    Opcode.SETPREC: "i",
+}
+
+#: Opcodes handled by the (non-accuracy-scalable) scalar pipeline.
+SCALAR_OPCODES = {
+    Opcode.LI,
+    Opcode.ADD,
+    Opcode.ADDI,
+    Opcode.SUB,
+    Opcode.MUL,
+    Opcode.BNE,
+    Opcode.BLT,
+    Opcode.JMP,
+    Opcode.NOP,
+    Opcode.HALT,
+    Opcode.SETPREC,
+}
+
+#: Opcodes that access the vector memory banks.
+VECTOR_MEMORY_OPCODES = {Opcode.VLOAD, Opcode.VSTORE}
+
+#: Opcodes executed by the (accuracy-scalable) vector datapath.
+VECTOR_ALU_OPCODES = {
+    Opcode.VMAC,
+    Opcode.VMUL,
+    Opcode.VADD,
+    Opcode.VRELU,
+    Opcode.VCLR,
+    Opcode.VSTACC,
+    Opcode.VBCAST,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    Attributes
+    ----------
+    opcode:
+        The operation.
+    operands:
+        Register indices / immediates / resolved branch targets, in the order
+        of the opcode's signature.
+    source:
+        Original assembly text (for diagnostics and disassembly).
+    """
+
+    opcode: Opcode
+    operands: tuple[int, ...] = ()
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        signature = OPERAND_SIGNATURES[self.opcode]
+        if len(self.operands) != len(signature):
+            raise ValueError(
+                f"{self.opcode.value} expects {len(signature)} operands, "
+                f"got {len(self.operands)}"
+            )
+        for kind, operand in zip(signature, self.operands):
+            if kind == "r" and not 0 <= operand < SCALAR_REGISTERS:
+                raise ValueError(f"scalar register index {operand} out of range")
+            if kind == "v" and not 0 <= operand < VECTOR_REGISTERS:
+                raise ValueError(f"vector register index {operand} out of range")
+            if kind == "l" and operand < 0:
+                raise ValueError("branch target must be non-negative")
+
+    def __str__(self) -> str:
+        if self.source:
+            return self.source
+        operands = ", ".join(str(op) for op in self.operands)
+        return f"{self.opcode.value} {operands}".strip()
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions plus the label table."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_address: dict[int, list[str]] = {}
+        for label, address in self.labels.items():
+            by_address.setdefault(address, []).append(label)
+        lines = []
+        for address, instruction in enumerate(self.instructions):
+            for label in by_address.get(address, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {address:4d}: {instruction}")
+        return "\n".join(lines) + "\n"

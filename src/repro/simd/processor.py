@@ -1,0 +1,260 @@
+"""Cycle-level model of the DVAFS-compatible SIMD RISC vector processor.
+
+The processor executes one instruction per cycle (fetch, decode, execute) and
+keeps event counters for every energy-relevant activity: instructions
+fetched, scalar operations, vector MAC/ALU operations, vector memory accesses
+and their active bit counts.  The power model of :mod:`repro.simd.power`
+converts those counters into the per-domain energy split of Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .isa import (
+    Instruction,
+    Opcode,
+    Program,
+    SCALAR_OPCODES,
+    VECTOR_ALU_OPCODES,
+    VECTOR_MEMORY_OPCODES,
+)
+from .memory import BankedMemory
+from .register_file import ScalarRegisterFile, VectorRegisterFile
+from .vector_unit import VectorUnit
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program misbehaves (bad opcode, watchdog expiry, ...)."""
+
+
+@dataclass
+class ExecutionCounters:
+    """Event counts of one program execution."""
+
+    cycles: int = 0
+    instructions: int = 0
+    scalar_operations: int = 0
+    vector_alu_instructions: int = 0
+    vector_memory_reads: int = 0
+    vector_memory_writes: int = 0
+    branches_taken: int = 0
+    opcode_histogram: dict[str, int] = field(default_factory=dict)
+
+    def record_opcode(self, opcode: Opcode) -> None:
+        """Update the per-opcode histogram."""
+        self.opcode_histogram[opcode.value] = self.opcode_histogram.get(opcode.value, 0) + 1
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of :meth:`SimdProcessor.run`."""
+
+    counters: ExecutionCounters
+    halted: bool
+    precision_bits: int
+    parallelism: int
+
+    @property
+    def words_processed(self) -> int:
+        """Number of MAC result words produced (lanes x subwords x cycles)."""
+        return self.counters.vector_alu_instructions
+
+
+class SimdProcessor:
+    """The SIMD RISC vector processor.
+
+    Parameters
+    ----------
+    simd_width:
+        Number of vector lanes / memory banks (SW: 8 or 64 in the paper).
+    word_bits:
+        Element width of the vector datapath (16).
+    words_per_bank:
+        Scratchpad capacity per bank.
+    guard_zero_operands:
+        Enable sparsity guarding in the vector unit.
+    """
+
+    def __init__(
+        self,
+        simd_width: int = 8,
+        *,
+        word_bits: int = 16,
+        words_per_bank: int = 4096,
+        guard_zero_operands: bool = True,
+    ):
+        if simd_width < 1:
+            raise ValueError("simd_width must be at least 1")
+        self.simd_width = simd_width
+        self.word_bits = word_bits
+        self.scalar_registers = ScalarRegisterFile()
+        self.vector_registers = VectorRegisterFile(simd_width, element_bits=word_bits)
+        self.memory = BankedMemory(simd_width, words_per_bank, word_bits=word_bits)
+        self.vector_unit = VectorUnit(
+            simd_width, word_bits=word_bits, guard_zero_operands=guard_zero_operands
+        )
+        self.precision_bits = word_bits
+
+    # -- state management ----------------------------------------------------
+
+    def reset(self, *, keep_memory: bool = True) -> None:
+        """Reset registers, counters and (optionally) the data memory."""
+        self.scalar_registers = ScalarRegisterFile()
+        self.vector_registers = VectorRegisterFile(
+            self.simd_width, element_bits=self.word_bits
+        )
+        self.vector_unit.reset_counters()
+        self.vector_unit.set_precision(self.word_bits)
+        self.precision_bits = self.word_bits
+        if not keep_memory:
+            self.memory = BankedMemory(
+                self.simd_width, self.memory.words_per_bank, word_bits=self.word_bits
+            )
+        else:
+            self.memory.reset_counters()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program: Program, *, max_cycles: int = 2_000_000) -> ExecutionResult:
+        """Execute ``program`` until HALT (or the cycle watchdog expires)."""
+        if len(program) == 0:
+            raise ExecutionError("program is empty")
+        counters = ExecutionCounters()
+        pc = 0
+        halted = False
+        while counters.cycles < max_cycles:
+            if not 0 <= pc < len(program):
+                raise ExecutionError(f"program counter {pc} out of range")
+            instruction = program[pc]
+            counters.cycles += 1
+            counters.instructions += 1
+            counters.record_opcode(instruction.opcode)
+            next_pc = pc + 1
+
+            if instruction.opcode == Opcode.HALT:
+                halted = True
+                break
+            next_pc = self._execute(instruction, counters, pc, next_pc)
+            pc = next_pc
+        if not halted and counters.cycles >= max_cycles:
+            raise ExecutionError(f"watchdog expired after {max_cycles} cycles")
+        return ExecutionResult(
+            counters=counters,
+            halted=halted,
+            precision_bits=self.precision_bits,
+            parallelism=self.vector_unit.mode.parallelism,
+        )
+
+    def _execute(
+        self, instruction: Instruction, counters: ExecutionCounters, pc: int, next_pc: int
+    ) -> int:
+        opcode = instruction.opcode
+        operands = instruction.operands
+        scalars = self.scalar_registers
+        vectors = self.vector_registers
+
+        if opcode in SCALAR_OPCODES:
+            counters.scalar_operations += 1
+
+        if opcode == Opcode.NOP:
+            return next_pc
+        if opcode == Opcode.LI:
+            scalars.write(operands[0], operands[1])
+        elif opcode == Opcode.ADD:
+            scalars.write(operands[0], scalars.read(operands[1]) + scalars.read(operands[2]))
+        elif opcode == Opcode.ADDI:
+            scalars.write(operands[0], scalars.read(operands[1]) + operands[2])
+        elif opcode == Opcode.SUB:
+            scalars.write(operands[0], scalars.read(operands[1]) - scalars.read(operands[2]))
+        elif opcode == Opcode.MUL:
+            scalars.write(operands[0], scalars.read(operands[1]) * scalars.read(operands[2]))
+        elif opcode == Opcode.BNE:
+            if scalars.read(operands[0]) != scalars.read(operands[1]):
+                counters.branches_taken += 1
+                return operands[2]
+        elif opcode == Opcode.BLT:
+            if scalars.read(operands[0]) < scalars.read(operands[1]):
+                counters.branches_taken += 1
+                return operands[2]
+        elif opcode == Opcode.JMP:
+            counters.branches_taken += 1
+            return operands[0]
+        elif opcode == Opcode.SETPREC:
+            self.set_precision(operands[0])
+        elif opcode == Opcode.VLOAD:
+            address = scalars.read(operands[1]) + operands[2]
+            values = self.memory.read_vector(address, active_bits=self._memory_active_bits())
+            vectors.write(operands[0], values)
+            counters.vector_memory_reads += 1
+        elif opcode == Opcode.VSTORE:
+            address = scalars.read(operands[1]) + operands[2]
+            self.memory.write_vector(
+                address, vectors.read(operands[0]), active_bits=self._memory_active_bits()
+            )
+            counters.vector_memory_writes += 1
+        elif opcode == Opcode.VBCAST:
+            value = scalars.read(operands[1])
+            vectors.write(operands[0], np.full(self.simd_width, value, dtype=np.int64))
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VMAC:
+            products = self.vector_unit.multiply_accumulate(
+                vectors.read(operands[0]), vectors.read(operands[1])
+            )
+            vectors.accumulate(products)
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VMUL:
+            result = self.vector_unit.elementwise(
+                "mul", vectors.read(operands[1]), vectors.read(operands[2])
+            )
+            vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VADD:
+            result = self.vector_unit.elementwise(
+                "add", vectors.read(operands[1]), vectors.read(operands[2])
+            )
+            vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VRELU:
+            result = self.vector_unit.elementwise("relu", vectors.read(operands[1]))
+            vectors.write(operands[0], result)
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VCLR:
+            vectors.clear_accumulators()
+            counters.vector_alu_instructions += 1
+        elif opcode == Opcode.VSTACC:
+            vectors.write(operands[0], vectors.saturate_accumulators())
+            counters.vector_alu_instructions += 1
+        elif opcode in VECTOR_MEMORY_OPCODES or opcode in VECTOR_ALU_OPCODES:
+            raise ExecutionError(f"unhandled vector opcode {opcode.value}")
+        else:
+            raise ExecutionError(f"unhandled opcode {opcode.value}")
+        return next_pc
+
+    # -- precision management --------------------------------------------------
+
+    def set_precision(self, bits: int) -> None:
+        """Program the vector datapath precision (the SETPREC instruction)."""
+        mode = self.vector_unit.set_precision(bits)
+        self.precision_bits = bits
+        del mode
+
+    def _memory_active_bits(self) -> int:
+        """Bits toggling per memory access in the current mode.
+
+        In single-word (DAS/DVAS) modes only the active MSBs of each word are
+        fetched; in subword-parallel modes the full word is used because it
+        carries N packed operands.
+        """
+        mode = self.vector_unit.mode
+        if mode.parallelism > 1:
+            return self.word_bits
+        return self.precision_bits
+
+
+def _element_range(bits: int) -> tuple[int, int]:
+    lo = -(1 << (bits - 1))
+    hi = (1 << (bits - 1)) - 1
+    return lo, hi

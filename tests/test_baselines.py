@@ -1,0 +1,120 @@
+"""Unit tests for the approximate-multiplier baselines of Fig. 3b."""
+
+import pytest
+
+from repro.arithmetic.baselines import (
+    KulkarniUnderdesignedMultiplier,
+    KyawErrorTolerantMultiplier,
+    LiuPartialErrorRecoveryMultiplier,
+    SolazTruncatedMultiplier,
+    all_baseline_curves,
+    measure_relative_rmse,
+)
+
+
+class TestKulkarni:
+    def test_2x2_block_error(self):
+        multiplier = KulkarniUnderdesignedMultiplier(2)
+        assert multiplier.multiply(3, 3) == 7
+        assert multiplier.multiply(2, 3) == 6
+
+    def test_exact_when_no_3x3_patterns(self):
+        multiplier = KulkarniUnderdesignedMultiplier(8)
+        # Operands whose 2-bit chunks never form 3 x 3.
+        assert multiplier.multiply(0b01010101, 0b00100010) == 0b01010101 * 0b00100010
+
+    def test_error_is_always_underestimate(self):
+        multiplier = KulkarniUnderdesignedMultiplier(8)
+        for x in range(0, 128, 7):
+            for y in range(0, 128, 11):
+                assert multiplier.multiply(x, y) <= x * y
+
+    def test_rmse_nonzero_but_small(self):
+        rmse = measure_relative_rmse(KulkarniUnderdesignedMultiplier(16).multiply, 16, samples=400)
+        assert 0 < rmse < 0.05
+
+
+class TestKyaw:
+    def test_msb_part_exact(self):
+        multiplier = KyawErrorTolerantMultiplier(16, split=8)
+        x, y = 0x4000, 0x2000  # no LSB content
+        assert multiplier.multiply(x, y) == x * y
+
+    def test_error_bounded_by_lsb_contribution(self):
+        multiplier = KyawErrorTolerantMultiplier(16, split=8)
+        x, y = 0x1234, 0x0F0F
+        error = abs(multiplier.multiply(x, y) - x * y)
+        assert error < (1 << 17)
+
+    def test_larger_split_larger_error(self):
+        small = measure_relative_rmse(KyawErrorTolerantMultiplier(16, 4).multiply, 16, samples=300)
+        large = measure_relative_rmse(KyawErrorTolerantMultiplier(16, 12).multiply, 16, samples=300)
+        assert large > small
+
+    def test_energy_decreases_with_split(self):
+        assert (
+            KyawErrorTolerantMultiplier(16, 12).relative_energy()
+            < KyawErrorTolerantMultiplier(16, 4).relative_energy()
+        )
+
+    def test_invalid_split(self):
+        with pytest.raises(ValueError):
+            KyawErrorTolerantMultiplier(16, 16)
+
+
+class TestLiu:
+    def test_full_recovery_is_exact(self):
+        multiplier = LiuPartialErrorRecoveryMultiplier(16, recovery_columns=32)
+        assert multiplier.multiply(12345, -321) == 12345 * -321
+
+    def test_more_recovery_less_error(self):
+        low = measure_relative_rmse(
+            LiuPartialErrorRecoveryMultiplier(16, 8).multiply, 16, samples=300
+        )
+        high = measure_relative_rmse(
+            LiuPartialErrorRecoveryMultiplier(16, 24).multiply, 16, samples=300
+        )
+        assert high < low
+
+    def test_voltage_scaled_variant_cheaper(self):
+        plain = LiuPartialErrorRecoveryMultiplier(16, 16)
+        scaled = LiuPartialErrorRecoveryMultiplier(16, 16, voltage_scaled=True)
+        assert scaled.relative_energy() < plain.relative_energy()
+
+
+class TestSolaz:
+    def test_no_truncation_is_exact(self):
+        multiplier = SolazTruncatedMultiplier(16, truncation_column=0)
+        assert multiplier.multiply(-1111, 2222) == -1111 * 2222
+
+    def test_truncation_is_runtime_programmable(self):
+        multiplier = SolazTruncatedMultiplier(16)
+        multiplier.set_truncation(12)
+        assert multiplier.truncation_column == 12
+
+    def test_energy_has_a_floor(self):
+        multiplier = SolazTruncatedMultiplier(16, truncation_column=30)
+        assert multiplier.relative_energy() >= SolazTruncatedMultiplier.FIXED_FRACTION
+
+    def test_error_grows_with_truncation(self):
+        small = measure_relative_rmse(SolazTruncatedMultiplier(16, 6).multiply, 16, samples=300)
+        large = measure_relative_rmse(SolazTruncatedMultiplier(16, 20).multiply, 16, samples=300)
+        assert large > small
+
+
+class TestBaselineCurves:
+    def test_all_schemes_present(self):
+        curves = all_baseline_curves(16)
+        assert len(curves) == 5
+        for points in curves.values():
+            assert points
+            for point in points:
+                assert point.rmse >= 0
+                assert 0 < point.relative_energy <= 1.05
+
+    def test_runtime_adaptive_flags(self):
+        curves = all_baseline_curves(16)
+        truncation = curves[SolazTruncatedMultiplier.name]
+        kulkarni = curves[KulkarniUnderdesignedMultiplier.name]
+        assert all(p.runtime_adaptive for p in truncation)
+        assert not any(p.runtime_adaptive for p in kulkarni)

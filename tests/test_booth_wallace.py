@@ -1,0 +1,97 @@
+"""Unit tests for Booth recoding and Wallace-tree reduction."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.booth import (
+    booth_decode,
+    booth_digit_count,
+    booth_recode,
+    digit_to_code,
+    generate_partial_products,
+)
+from repro.arithmetic.wallace import reduce_rows, wallace_levels
+
+
+class TestBoothRecode:
+    def test_digit_count(self):
+        assert booth_digit_count(16) == 8
+        assert booth_digit_count(8) == 4
+        assert booth_digit_count(4) == 2
+
+    def test_roundtrip_exhaustive_8bit(self):
+        for value in range(-128, 128):
+            digits = booth_recode(value, 8)
+            assert booth_decode(digits) == value
+            assert all(d in (-2, -1, 0, 1, 2) for d in digits)
+
+    def test_roundtrip_random_16bit(self):
+        rng = np.random.default_rng(3)
+        for value in rng.integers(-32768, 32768, 200):
+            assert booth_decode(booth_recode(int(value), 16)) == int(value)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            booth_recode(300, 8)
+
+    def test_digit_code_distinct(self):
+        codes = {digit_to_code(d) for d in (-2, -1, 0, 1, 2)}
+        assert len(codes) == 5
+
+    def test_invalid_digit_code(self):
+        with pytest.raises(ValueError):
+            digit_to_code(3)
+
+
+class TestPartialProducts:
+    def test_sum_equals_product(self):
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            x = int(rng.integers(-32768, 32768))
+            y = int(rng.integers(-32768, 32768))
+            pps = generate_partial_products(x, y, 16)
+            assert sum(pp.value for pp in pps) == x * y
+
+    def test_zero_multiplier_gives_zero_rows(self):
+        pps = generate_partial_products(12345, 0, 16)
+        assert all(pp.value == 0 for pp in pps)
+
+
+class TestWallaceLevels:
+    def test_known_values(self):
+        assert wallace_levels(2) == 0
+        assert wallace_levels(3) == 1
+        assert wallace_levels(4) == 2
+        assert wallace_levels(8) == 4
+
+    def test_monotonic(self):
+        levels = [wallace_levels(rows) for rows in range(2, 30)]
+        assert levels == sorted(levels)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            wallace_levels(0)
+
+
+class TestReduceRows:
+    def test_reduction_preserves_sum_mod_2n(self):
+        rng = np.random.default_rng(5)
+        bits = 32
+        mask = (1 << bits) - 1
+        for _ in range(50):
+            rows = [int(v) for v in rng.integers(0, 1 << 31, size=7)]
+            result = reduce_rows(rows, bits)
+            assert (result.sum_row + result.carry_row) & mask == sum(rows) & mask
+
+    def test_depth_matches_wallace_levels(self):
+        rows = [1] * 8
+        result = reduce_rows(rows, 16)
+        assert result.depth == wallace_levels(8)
+
+    def test_single_row_passthrough(self):
+        result = reduce_rows([42], 16)
+        assert result.sum_row + result.carry_row == 42
+
+    def test_empty_rows(self):
+        result = reduce_rows([], 16)
+        assert result.sum_row == 0 and result.carry_row == 0

@@ -1,0 +1,123 @@
+"""Unit tests for repro.arithmetic.fixed_point."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic import fixed_point as fp
+
+
+class TestSignedRange:
+    def test_sixteen_bits(self):
+        assert fp.signed_range(16) == (-32768, 32767)
+
+    def test_one_bit(self):
+        assert fp.signed_range(1) == (-1, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fp.signed_range(0)
+
+
+class TestTwosComplement:
+    def test_roundtrip_all_8bit_values(self):
+        for value in range(-128, 128):
+            pattern = fp.to_twos_complement(value, 8)
+            assert 0 <= pattern < 256
+            assert fp.from_twos_complement(pattern, 8) == value
+
+    def test_negative_encoding(self):
+        assert fp.to_twos_complement(-1, 8) == 0xFF
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fp.to_twos_complement(128, 8)
+
+    def test_wrap_signed(self):
+        assert fp.wrap_signed(128, 8) == -128
+        assert fp.wrap_signed(-129, 8) == 127
+        assert fp.wrap_signed(5, 8) == 5
+
+
+class TestPrecisionGating:
+    def test_truncate_keeps_msbs(self):
+        value = 0b0110_1011_0101_0011  # positive 16-bit value
+        truncated = fp.truncate_lsbs(value, 16, 4)
+        assert truncated == value & ~0xFFF
+
+    def test_truncate_full_precision_is_identity(self):
+        assert fp.truncate_lsbs(12345, 16, 16) == 12345
+
+    def test_truncate_negative_value(self):
+        truncated = fp.truncate_lsbs(-12345, 16, 8)
+        assert truncated % 256 == 0
+        assert abs(truncated - (-12345)) < 256
+
+    def test_round_is_no_farther_than_truncate(self):
+        for value in (-20000, -5, 3, 127, 30000):
+            rounded = fp.round_lsbs(value, 16, 6)
+            truncated = fp.truncate_lsbs(value, 16, 6)
+            assert abs(rounded - value) <= abs(truncated - value) + 2 ** 10
+
+    def test_invalid_active_bits(self):
+        with pytest.raises(ValueError):
+            fp.truncate_lsbs(1, 16, 0)
+        with pytest.raises(ValueError):
+            fp.truncate_lsbs(1, 16, 17)
+
+
+class TestFixedPointFormat:
+    def test_q1_15_range(self):
+        fmt = fp.FixedPointFormat(1, 15)
+        assert fmt.total_bits == 16
+        assert fmt.max_value == pytest.approx(1.0 - 2**-15)
+        assert fmt.min_value == pytest.approx(-1.0)
+
+    def test_quantize_dequantize(self):
+        fmt = fp.FixedPointFormat(1, 7)
+        code = fmt.quantize(0.5)
+        assert fmt.dequantize(code) == pytest.approx(0.5, abs=fmt.scale)
+
+    def test_quantize_saturates(self):
+        fmt = fp.FixedPointFormat(1, 7)
+        assert fmt.quantize(10.0) == 127
+
+    def test_array_roundtrip_error_bound(self):
+        fmt = fp.FixedPointFormat(2, 6)
+        values = np.linspace(-1.5, 1.5, 101)
+        error = fmt.quantization_error(values)
+        assert np.max(np.abs(error)) <= fmt.scale / 2 + 1e-12
+
+    def test_invalid_format(self):
+        with pytest.raises(ValueError):
+            fp.FixedPointFormat(0, 4)
+
+
+class TestSubwordPacking:
+    def test_pack_unpack_roundtrip(self):
+        values = [3, -2, 7, -8]
+        packed = fp.pack_subwords(values, 4)
+        assert fp.unpack_subwords(packed, 4, 4) == values
+
+    def test_pack_positions(self):
+        packed = fp.pack_subwords([1, 0], 8)
+        assert packed == 1
+        packed = fp.pack_subwords([0, 1], 8)
+        assert packed == 1 << 8
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            fp.pack_subwords([8], 4)
+
+
+class TestQuantizationRmse:
+    def test_decreases_with_bits(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(-1, 1, 500)
+        errors = [fp.quantization_rmse(bits, values) for bits in (4, 8, 12)]
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_scales_with_precision_step(self):
+        rng = np.random.default_rng(1)
+        values = rng.uniform(-1, 1, 2000)
+        ratio = fp.quantization_rmse(4, values) / fp.quantization_rmse(8, values)
+        assert 8 < ratio < 32  # roughly 2**4

@@ -1,0 +1,105 @@
+"""Unit tests for the cell library, netlist framework and structural adders."""
+
+import pytest
+
+from repro.arithmetic.adder import CarryLookaheadModel, RippleCarryAdder
+from repro.arithmetic.gates import CELL_COSTS, Netlist, cell_cost, hamming_distance, popcount
+
+
+class TestBitUtilities:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1100, 0b1010) == 2
+
+
+class TestCellCosts:
+    def test_all_entries_positive(self):
+        for cost in CELL_COSTS.values():
+            assert cost.gate_equivalents > 0
+            assert cost.logic_levels > 0
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError):
+            cell_cost("quantum_gate")
+
+    def test_full_adder_bigger_than_half_adder(self):
+        assert cell_cost("full_adder").gate_equivalents > cell_cost("half_adder").gate_equivalents
+
+
+class TestNetlist:
+    def _xor_netlist(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_cell("xor2", ["a", "b"], ["y"])
+        netlist.add_output("y")
+        return netlist
+
+    def test_evaluate_function(self):
+        netlist = self._xor_netlist()
+        assert netlist.evaluate({"a": 0, "b": 0})["y"] == 0
+        assert netlist.evaluate({"a": 1, "b": 0})["y"] == 1
+
+    def test_toggle_counting(self):
+        netlist = self._xor_netlist()
+        netlist.evaluate({"a": 0, "b": 0})
+        before = netlist.toggle_counter.weighted_toggles
+        netlist.evaluate({"a": 1, "b": 0})  # output flips 0 -> 1
+        assert netlist.toggle_counter.weighted_toggles > before
+
+    def test_missing_input_rejected(self):
+        netlist = self._xor_netlist()
+        with pytest.raises(ValueError):
+            netlist.evaluate({"a": 1})
+
+    def test_duplicate_input_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(ValueError):
+            netlist.add_input("a")
+
+
+class TestRippleCarryAdder:
+    def test_exhaustive_4bit(self):
+        adder = RippleCarryAdder(4)
+        for a in range(-8, 8):
+            for b in range(-8, 8):
+                total, _ = adder.add(a, b)
+                expected = ((a + b + 8) % 16) - 8  # two's complement wrap
+                assert total == expected
+
+    def test_carry_out_unsigned_meaning(self):
+        adder = RippleCarryAdder(4)
+        _, carry = adder.add(-1, -1)  # 0xF + 0xF produces a carry
+        assert carry == 1
+
+    def test_activity_accumulates(self):
+        adder = RippleCarryAdder(8)
+        adder.add(1, 2)
+        adder.add(100, -50)
+        assert adder.weighted_toggles > 0
+        adder.reset_activity()
+        assert adder.weighted_toggles == 0
+
+    def test_critical_path_scales_with_width(self):
+        assert RippleCarryAdder(16).critical_path_levels > RippleCarryAdder(4).critical_path_levels
+
+
+class TestCarryLookaheadModel:
+    def test_logarithmic_depth(self):
+        assert CarryLookaheadModel(32).critical_path_levels < RippleCarryAdder(32).critical_path_levels
+
+    def test_depth_monotonic_in_width(self):
+        depths = [CarryLookaheadModel(w).critical_path_levels for w in (8, 16, 32, 64)]
+        assert depths == sorted(depths)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CarryLookaheadModel(0)

@@ -1,0 +1,140 @@
+"""Unit tests for the precision-gated Booth-Wallace multiplier (DAS/DVAS)."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.fixed_point import truncate_lsbs
+from repro.arithmetic.multiplier import ActivityReport, BoothWallaceMultiplier
+from repro.circuit.technology import TECH_40NM_LP_LVT
+
+
+class TestFunctionalCorrectness:
+    def test_exact_at_full_precision(self):
+        multiplier = BoothWallaceMultiplier(16)
+        rng = np.random.default_rng(0)
+        for _ in range(150):
+            x = int(rng.integers(-32768, 32768))
+            y = int(rng.integers(-32768, 32768))
+            assert multiplier.multiply(x, y) == x * y
+
+    def test_exact_corner_cases(self):
+        multiplier = BoothWallaceMultiplier(16)
+        for x, y in [(-32768, -32768), (-32768, 32767), (32767, 32767), (0, -1), (1, -32768)]:
+            assert multiplier.multiply(x, y) == x * y
+
+    def test_gated_mode_multiplies_truncated_operands(self):
+        multiplier = BoothWallaceMultiplier(16)
+        multiplier.set_precision(8)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            x = int(rng.integers(-32768, 32768))
+            y = int(rng.integers(-32768, 32768))
+            expected = truncate_lsbs(x, 16, 8) * truncate_lsbs(y, 16, 8)
+            assert multiplier.multiply(x, y) == expected
+
+    def test_small_width_exhaustive(self):
+        multiplier = BoothWallaceMultiplier(4)
+        for x in range(-8, 8):
+            for y in range(-8, 8):
+                assert multiplier.multiply(x, y) == x * y
+
+    def test_rejects_out_of_range_operand(self):
+        multiplier = BoothWallaceMultiplier(8)
+        with pytest.raises(ValueError):
+            multiplier.multiply(200, 1)
+
+    def test_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            BoothWallaceMultiplier(15)
+
+
+class TestPrecisionConfiguration:
+    def test_default_full_precision(self):
+        assert BoothWallaceMultiplier(16).precision == 16
+
+    def test_set_precision_bounds(self):
+        multiplier = BoothWallaceMultiplier(16)
+        with pytest.raises(ValueError):
+            multiplier.set_precision(1)
+        with pytest.raises(ValueError):
+            multiplier.set_precision(17)
+
+    def test_partial_product_rows_shrink(self):
+        multiplier = BoothWallaceMultiplier(16)
+        assert multiplier.partial_product_rows(16) == 8
+        assert multiplier.partial_product_rows(4) == 2
+
+
+class TestCriticalPath:
+    def test_monotonic_in_precision(self):
+        multiplier = BoothWallaceMultiplier(16)
+        depths = [multiplier.critical_path_levels(p) for p in (4, 8, 12, 16)]
+        assert depths == sorted(depths)
+
+    def test_16b_meets_500mhz_at_nominal(self):
+        multiplier = BoothWallaceMultiplier(16, technology=TECH_40NM_LP_LVT)
+        path = multiplier.critical_path(16)
+        assert path.meets_timing(TECH_40NM_LP_LVT.nominal_voltage, 2.0)
+
+    def test_4b_slack_around_one_nanosecond(self):
+        """Fig. 2b: the DAS 4 b mode has roughly 1 ns of positive slack."""
+        multiplier = BoothWallaceMultiplier(16, technology=TECH_40NM_LP_LVT)
+        slack = multiplier.critical_path(4).positive_slack_ns(1.1, 2.0)
+        assert 0.7 <= slack <= 1.5
+
+
+class TestActivity:
+    def test_activity_accumulates_per_word(self):
+        multiplier = BoothWallaceMultiplier(16)
+        multiplier.multiply(1234, -4321)
+        multiplier.multiply(-999, 777)
+        assert multiplier.activity.words == 2
+        assert multiplier.activity.total_weighted_toggles > 0
+
+    def test_gated_mode_reduces_activity(self):
+        """The DAS effect: activity drops by several x at 4 bits (k0)."""
+        rng = np.random.default_rng(2)
+        xs = rng.integers(-32768, 32768, 150).tolist()
+        ys = rng.integers(-32768, 32768, 150).tolist()
+
+        full = BoothWallaceMultiplier(16)
+        full.multiply_stream(xs, ys)
+        gated = BoothWallaceMultiplier(16)
+        gated.set_precision(4)
+        gated.multiply_stream(xs, ys)
+
+        ratio = full.activity.toggles_per_word / gated.activity.toggles_per_word
+        assert ratio > 4.0
+
+    def test_take_activity_preserves_baseline(self):
+        multiplier = BoothWallaceMultiplier(16)
+        multiplier.multiply(100, 100)
+        first = multiplier.take_activity()
+        multiplier.multiply(100, 100)  # identical operands: almost no toggles
+        second = multiplier.take_activity()
+        assert second.total_weighted_toggles < first.total_weighted_toggles
+
+    def test_energy_scales_with_voltage_squared(self):
+        multiplier = BoothWallaceMultiplier(16)
+        multiplier.multiply(1000, 2000)
+        report = multiplier.activity
+        high = report.energy_pj(TECH_40NM_LP_LVT, 1.1)
+        low = report.energy_pj(TECH_40NM_LP_LVT, 0.55)
+        assert high == pytest.approx(4.0 * low, rel=1e-6)
+
+
+class TestActivityReport:
+    def test_merge(self):
+        a = ActivityReport(stage_toggles={"x": 1.0}, words=1)
+        b = ActivityReport(stage_toggles={"x": 2.0, "y": 3.0}, words=2)
+        merged = a.merged_with(b)
+        assert merged.words == 3
+        assert merged.stage_toggles == {"x": 3.0, "y": 3.0}
+
+    def test_per_word_requires_words(self):
+        with pytest.raises(ValueError):
+            ActivityReport().toggles_per_word
+
+    def test_negative_toggles_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityReport().record("stage", -1.0)

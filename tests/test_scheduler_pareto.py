@@ -1,0 +1,101 @@
+"""Unit tests for the precision scheduler and Pareto utilities."""
+
+import pytest
+
+from repro.core.operating_point import OperatingPoint
+from repro.core.pareto import (
+    TradeoffPoint,
+    dominated_fraction,
+    dynamic_range,
+    energy_at_accuracy,
+    pareto_front,
+)
+from repro.core.scheduler import PrecisionRequirement, PrecisionScheduler
+
+
+def _points():
+    return [
+        OperatingPoint(16, 1, 500.0, 1.1, 1.1, technique="DVAFS"),
+        OperatingPoint(8, 2, 250.0, 0.87, 0.9, technique="DVAFS"),
+        OperatingPoint(4, 4, 125.0, 0.73, 0.8, technique="DVAFS"),
+    ]
+
+
+def _energy_model(point: OperatingPoint) -> float:
+    return {16: 2.6, 8: 0.55, 4: 0.12}[point.precision]
+
+
+class TestPrecisionScheduler:
+    def test_selects_cheapest_feasible_mode(self):
+        scheduler = PrecisionScheduler(_points(), _energy_model)
+        task = scheduler.select(PrecisionRequirement("layer", required_bits=5))
+        assert task.operating_point.precision == 8
+
+    def test_exact_fit(self):
+        scheduler = PrecisionScheduler(_points(), _energy_model)
+        task = scheduler.select(PrecisionRequirement("layer", required_bits=4))
+        assert task.operating_point.precision == 4
+
+    def test_infeasible_requirement_raises(self):
+        scheduler = PrecisionScheduler(_points(), _energy_model)
+        with pytest.raises(ValueError):
+            scheduler.select(PrecisionRequirement("layer", required_bits=20))
+
+    def test_per_layer_beats_uniform(self):
+        """Per-layer scaling saves energy vs pinning to the worst-case precision."""
+        scheduler = PrecisionScheduler(_points(), _energy_model)
+        requirements = [
+            PrecisionRequirement("l1", 4, operations=1e6),
+            PrecisionRequirement("l2", 8, operations=1e6),
+            PrecisionRequirement("l3", 16, operations=1e6),
+        ]
+        adaptive = scheduler.total_energy_pj(requirements)
+        uniform = scheduler.uniform_precision_energy_pj(requirements)
+        assert adaptive < uniform
+
+    def test_task_energy_scales_with_operations(self):
+        scheduler = PrecisionScheduler(_points(), _energy_model)
+        small = scheduler.select(PrecisionRequirement("a", 4, operations=10))
+        assert small.total_energy_pj == pytest.approx(10 * small.energy_per_operation_pj)
+
+    def test_empty_operating_points_rejected(self):
+        with pytest.raises(ValueError):
+            PrecisionScheduler([], _energy_model)
+
+    def test_invalid_requirement(self):
+        with pytest.raises(ValueError):
+            PrecisionRequirement("bad", 0)
+
+
+class TestPareto:
+    def test_dominance(self):
+        a = TradeoffPoint(0.1, 0.5)
+        b = TradeoffPoint(0.2, 0.6)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_pareto_front_filters_dominated(self):
+        points = [
+            TradeoffPoint(0.1, 1.0, "a"),
+            TradeoffPoint(0.2, 0.5, "b"),
+            TradeoffPoint(0.3, 0.6, "c"),  # dominated by b
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b"]
+
+    def test_dominated_fraction(self):
+        candidate = [TradeoffPoint(0.1, 0.1)]
+        reference = [TradeoffPoint(0.2, 0.2), TradeoffPoint(0.05, 0.05)]
+        assert dominated_fraction(candidate, reference) == pytest.approx(0.5)
+
+    def test_energy_at_accuracy(self):
+        points = [TradeoffPoint(1e-3, 0.5), TradeoffPoint(1e-5, 0.9)]
+        assert energy_at_accuracy(points, 1e-4) == pytest.approx(0.9)
+        assert energy_at_accuracy(points, 1e-7) is None
+
+    def test_dynamic_range(self):
+        points = [TradeoffPoint(0.1, 1.2), TradeoffPoint(0.2, 0.06)]
+        assert dynamic_range(points) == pytest.approx(20.0)
+        with pytest.raises(ValueError):
+            dynamic_range([])

@@ -1,0 +1,203 @@
+"""Unit and integration tests for the SIMD processor substrate."""
+
+import numpy as np
+import pytest
+
+from repro.simd import (
+    AssemblerError,
+    Opcode,
+    SimdPowerModel,
+    SimdProcessor,
+    assemble,
+    convolution_kernel,
+    run_convolution,
+)
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        program = assemble("li r1, 5\naddi r1, r1, 3\nhalt\n")
+        assert len(program) == 3
+        assert program[0].opcode == Opcode.LI
+
+    def test_labels_and_branches(self):
+        program = assemble(
+            """
+            li r1, 0
+            loop: addi r1, r1, 1
+            blt r1, r2, loop
+            halt
+            """
+        )
+        assert program.labels["loop"] == 1
+        assert program[2].operands[2] == 1
+
+    def test_comments_and_hex(self):
+        program = assemble("li r1, 0x10 ; comment\n# another\nhalt\n")
+        assert program[0].operands == (1, 16)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate r1, r2\n")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("jmp nowhere\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2\n")
+
+    def test_disassembly_roundtrip_length(self):
+        source = "li r1, 3\nvclr\nhalt\n"
+        program = assemble(source)
+        listing = program.disassemble()
+        assert "vclr" in listing and "halt" in listing
+
+
+class TestProcessorScalar:
+    def _run(self, source):
+        processor = SimdProcessor(4)
+        result = processor.run(assemble(source))
+        return processor, result
+
+    def test_arithmetic(self):
+        processor, _ = self._run("li r1, 7\nli r2, 5\nadd r3, r1, r2\nsub r4, r1, r2\nmul r5, r1, r2\nhalt\n")
+        registers = processor.scalar_registers.dump()
+        assert registers[3] == 12 and registers[4] == 2 and registers[5] == 35
+
+    def test_r0_is_zero(self):
+        processor, _ = self._run("li r0, 99\nadd r1, r0, r0\nhalt\n")
+        assert processor.scalar_registers.dump()[0] == 0
+        assert processor.scalar_registers.dump()[1] == 0
+
+    def test_loop_counts_cycles(self):
+        _, result = self._run(
+            "li r1, 0\nli r2, 10\nloop: addi r1, r1, 1\nblt r1, r2, loop\nhalt\n"
+        )
+        assert result.counters.branches_taken == 9
+        assert result.halted
+
+    def test_watchdog(self):
+        processor = SimdProcessor(2)
+        program = assemble("loop: jmp loop\nhalt\n")
+        from repro.simd import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            processor.run(program, max_cycles=100)
+
+
+class TestProcessorVector:
+    def test_vector_mac_pipeline(self):
+        processor = SimdProcessor(4)
+        for bank in range(4):
+            processor.memory.load_bank(bank, 0, np.array([bank + 1, 2]))
+            processor.memory.load_bank(bank, 10, np.array([3, 4]))
+        program = assemble(
+            """
+            vclr
+            vload v0, r0, 0
+            vload v1, r0, 10
+            vmac v0, v1
+            vload v0, r0, 1
+            vload v1, r0, 11
+            vmac v0, v1
+            vstacc v2
+            vstore v2, r0, 20
+            halt
+            """
+        )
+        processor.run(program)
+        outputs = [int(processor.memory.dump_bank(bank, 20, 1)[0]) for bank in range(4)]
+        assert outputs == [(bank + 1) * 3 + 2 * 4 for bank in range(4)]
+
+    def test_setprec_changes_mode(self):
+        processor = SimdProcessor(4)
+        result = processor.run(assemble("setprec 4\nhalt\n"))
+        assert result.precision_bits == 4
+        assert result.parallelism == 4
+
+    def test_relu_clamps_negative(self):
+        processor = SimdProcessor(2)
+        processor.memory.load_bank(0, 0, np.array([-5]))
+        processor.memory.load_bank(1, 0, np.array([7]))
+        processor.run(assemble("vload v0, r0, 0\nvrelu v1, v0\nvstore v1, r0, 1\nhalt\n"))
+        assert int(processor.memory.dump_bank(0, 1, 1)[0]) == 0
+        assert int(processor.memory.dump_bank(1, 1, 1)[0]) == 7
+
+
+class TestConvolutionKernel:
+    def test_output_matches_reference(self, simd_execution):
+        workload, outputs, _ = simd_execution
+        assert np.array_equal(outputs, workload.reference_output())
+
+    def test_mac_count_accounting(self, simd_execution):
+        workload, _, result = simd_execution
+        # One VMAC instruction per (output, tap); each does one MAC per lane.
+        vmacs = result.counters.opcode_histogram["vmac"]
+        assert vmacs == workload.output_length * workload.taps
+        assert workload.macs == vmacs * workload.inputs.shape[0]
+
+    def test_sparsity_increases_guarding(self):
+        processor = SimdProcessor(4, guard_zero_operands=True)
+        workload = convolution_kernel(4, input_length=24, taps=3, sparsity=0.6, seed=3)
+        run_convolution(processor, workload)
+        assert processor.vector_unit.counters.guarded_macs > 0
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            convolution_kernel(4, input_length=4, taps=8)
+
+
+class TestSimdPowerModel:
+    def test_calibration_hits_reference_point(self, simd_execution):
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        model.calibrate(result)
+        report = model.report(result, technique="DAS", precision=16)
+        assert report.power_mw == pytest.approx(36.0, rel=0.02)
+        fractions = report.domain_fractions()
+        assert fractions["mem"] == pytest.approx(0.31, abs=0.02)
+        assert fractions["nas"] == pytest.approx(0.46, abs=0.02)
+        assert fractions["as"] == pytest.approx(0.23, abs=0.02)
+
+    def test_mode_ordering_table2(self, simd_execution):
+        """Total power per mode must follow Table II: 1x16b > 1x8b > 1x4b > 2x8b > 4x4b."""
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        model.calibrate(result)
+        powers = [
+            model.report(result, technique=tech, precision=prec).power_mw
+            for tech, prec in [("DAS", 16), ("DVAS", 8), ("DVAS", 4), ("DVAFS", 8), ("DVAFS", 4)]
+        ]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_dvafs_4b_saves_at_least_80_percent(self, simd_execution):
+        """The paper reports ~85 % energy reduction at 4x4b for the SW=8 processor."""
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        model.calibrate(result)
+        baseline = model.report(result, technique="DAS", precision=16)
+        dvafs = model.report(result, technique="DVAFS", precision=4)
+        saving = 1.0 - dvafs.energy_per_word_pj / baseline.energy_per_word_pj
+        assert saving > 0.80
+
+    def test_memory_fraction_grows_in_subword_modes(self, simd_execution):
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        model.calibrate(result)
+        base = model.report(result, technique="DAS", precision=16).domain_fractions()["mem"]
+        dvafs = model.report(result, technique="DVAFS", precision=4).domain_fractions()["mem"]
+        assert dvafs > base
+
+    def test_unknown_precision_rejected(self, simd_execution):
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        with pytest.raises(KeyError):
+            model.report(result, technique="DAS", precision=5)
+
+    def test_unknown_technique_rejected(self, simd_execution):
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        with pytest.raises(ValueError):
+            model.report(result, technique="DVFS")

@@ -1,0 +1,161 @@
+"""Unit tests for the subword-parallel DVAFS multiplier and the MAC unit."""
+
+import numpy as np
+import pytest
+
+from repro.arithmetic.mac import MacUnit
+from repro.arithmetic.subword import SubwordMode, SubwordParallelMultiplier
+
+
+class TestSubwordModes:
+    def test_supported_modes_of_16bit(self):
+        multiplier = SubwordParallelMultiplier(16)
+        labels = [str(mode) for mode in multiplier.supported_modes()]
+        assert labels == ["1x16b", "2x8b", "4x4b", "8x2b"]
+
+    def test_set_precision_selects_parallelism(self):
+        multiplier = SubwordParallelMultiplier(16)
+        assert multiplier.set_precision(16).parallelism == 1
+        assert multiplier.set_precision(8).parallelism == 2
+        assert multiplier.set_precision(4).parallelism == 4
+        # 12 does not divide 16: falls back to a gated single lane (N = 1).
+        assert multiplier.set_precision(12).parallelism == 1
+
+    def test_mode_that_does_not_fit_rejected(self):
+        multiplier = SubwordParallelMultiplier(16)
+        with pytest.raises(ValueError):
+            multiplier.set_mode(4, 8)
+
+    def test_subword_mode_validation(self):
+        with pytest.raises(ValueError):
+            SubwordMode(parallelism=0, subword_bits=4)
+
+
+class TestSubwordCorrectness:
+    def test_products_exact_in_every_mode(self):
+        rng = np.random.default_rng(0)
+        multiplier = SubwordParallelMultiplier(16)
+        for precision in (16, 8, 4):
+            mode = multiplier.set_precision(precision)
+            lo, hi = -(1 << (precision - 1)), (1 << (precision - 1)) - 1
+            for _ in range(30):
+                xs = [int(v) for v in rng.integers(lo, hi + 1, mode.parallelism)]
+                ys = [int(v) for v in rng.integers(lo, hi + 1, mode.parallelism)]
+                assert multiplier.multiply(xs, ys) == [a * b for a, b in zip(xs, ys)]
+
+    def test_packed_interface(self):
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(4)
+        from repro.arithmetic.fixed_point import pack_subwords, unpack_subwords
+
+        xs, ys = [1, -2, 3, -4], [5, 6, -7, 7]
+        packed = multiplier.multiply_packed(pack_subwords(xs, 4), pack_subwords(ys, 4))
+        assert unpack_subwords(packed, 8, 4) == [a * b for a, b in zip(xs, ys)]
+
+    def test_wrong_operand_count_rejected(self):
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(4)
+        with pytest.raises(ValueError):
+            multiplier.multiply([1, 2], [3, 4])
+
+    def test_stream_length_must_match_parallelism(self):
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(8)
+        with pytest.raises(ValueError):
+            multiplier.multiply_stream([1, 2, 3], [1, 2, 3])
+
+
+class TestSubwordActivityAndTiming:
+    def test_full_precision_overhead(self):
+        """The reconfigurable multiplier costs ~21 % extra at 16 b (Fig. 3a)."""
+        rng = np.random.default_rng(1)
+        xs = [int(v) for v in rng.integers(-32768, 32768, 100)]
+        ys = [int(v) for v in rng.integers(-32768, 32768, 100)]
+
+        from repro.arithmetic.multiplier import BoothWallaceMultiplier
+
+        plain = BoothWallaceMultiplier(16)
+        plain.multiply_stream(xs, ys)
+        dvafs = SubwordParallelMultiplier(16, reconfiguration_overhead=0.21)
+        dvafs.set_precision(16)
+        dvafs.multiply_stream(xs, ys)
+
+        overhead = dvafs.activity.toggles_per_word / plain.activity.toggles_per_word
+        assert overhead == pytest.approx(1.21, rel=0.02)
+
+    def test_critical_path_shrinks_with_subword_mode(self):
+        multiplier = SubwordParallelMultiplier(16)
+        full = multiplier.critical_path_levels(SubwordMode(1, 16))
+        quad = multiplier.critical_path_levels(SubwordMode(4, 4))
+        assert quad < full / 1.5
+
+    def test_current_mode_honours_gated_precision(self):
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(12)
+        gated = multiplier.critical_path_levels()
+        multiplier.set_precision(16)
+        full = multiplier.critical_path_levels()
+        assert gated < full
+
+    def test_per_word_activity_drops_in_subword_mode(self):
+        rng = np.random.default_rng(2)
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(16)
+        xs = [int(v) for v in rng.integers(-32768, 32768, 80)]
+        multiplier.multiply_stream(xs, xs)
+        per_word_16 = multiplier.activity.toggles_per_word
+
+        multiplier = SubwordParallelMultiplier(16)
+        multiplier.set_precision(4)
+        xs4 = [int(v) for v in rng.integers(-8, 8, 80)]
+        multiplier.multiply_stream(xs4, xs4)
+        per_word_4 = multiplier.activity.toggles_per_word
+        assert per_word_4 < per_word_16 / 3
+
+
+class TestMacUnit:
+    def test_dot_product_matches_numpy(self):
+        mac = MacUnit(16)
+        mac.set_precision(16)
+        rng = np.random.default_rng(3)
+        xs = [int(v) for v in rng.integers(-2000, 2000, 32)]
+        ys = [int(v) for v in rng.integers(-2000, 2000, 32)]
+        result = mac.dot_product(xs, ys)
+        assert result[0] == int(np.dot(xs, ys))
+
+    def test_subword_dot_product(self):
+        mac = MacUnit(16)
+        mac.set_precision(4)
+        xs = [1, 2, 3, 4, -1, -2, -3, -4]
+        ys = [7, 6, 5, 4, 3, 2, 1, 0]
+        accumulators = mac.dot_product(xs, ys)
+        # Lane l accumulates elements l, l+4, l+8, ... of the stream.
+        for lane in range(4):
+            expected = sum(xs[i] * ys[i] for i in range(lane, len(xs), 4))
+            assert accumulators[lane] == expected
+
+    def test_guarding_skips_zero_operands(self):
+        mac = MacUnit(16, guard_zero_operands=True)
+        mac.set_precision(16)
+        mac.dot_product([0, 5, 0, 7], [3, 0, 9, 2])
+        assert mac.statistics.guarded == 3
+        assert mac.statistics.guard_rate == pytest.approx(0.75)
+
+    def test_guarded_stream_uses_less_energy(self):
+        rng = np.random.default_rng(4)
+        dense_x = [int(v) for v in rng.integers(-100, 100, 64)]
+        dense_y = [int(v) for v in rng.integers(-100, 100, 64)]
+        sparse_x = [v if i % 4 == 0 else 0 for i, v in enumerate(dense_x)]
+
+        dense_mac = MacUnit(16)
+        dense_mac.dot_product(dense_x, dense_y)
+        sparse_mac = MacUnit(16)
+        sparse_mac.dot_product(sparse_x, dense_y)
+        assert (
+            sparse_mac.activity.total_weighted_toggles
+            < dense_mac.activity.total_weighted_toggles
+        )
+
+    def test_accumulator_width_validation(self):
+        with pytest.raises(ValueError):
+            MacUnit(16, accumulator_bits=16)
