@@ -1,0 +1,381 @@
+"""Vectorized bit-plane batch evaluation engine for the arithmetic datapath.
+
+The scalar models in :mod:`repro.arithmetic.multiplier` walk every
+multiplication through the datapath one stage at a time on Python integers,
+which makes a single 16-bit multiply cost tens of microseconds.  This module
+re-implements the same stage walk as *bit-plane* operations over whole
+operand batches: every pipeline stage (operand registers, Booth encoding,
+partial-product selection, carry-save reduction, final addition) is evaluated
+for all ``N`` operations at once on ``(N, rows)`` numpy arrays of
+two's-complement patterns, and the per-stage toggle accounting becomes a
+chained XOR / popcount over the batch axis.
+
+The engine is **bit-identical** to the scalar reference: given the same
+operand stream and the same starting toggle baseline it produces the same
+products, the same per-stage raw toggle counts, the same weighted
+gate-equivalent activity and the same final baseline state, so scalar and
+batch evaluation can be freely interleaved on one multiplier instance.  The
+scalar models remain the golden reference; the equivalence is enforced by the
+property tests in ``tests/test_batch_equivalence.py``.
+
+The engine supports operand widths up to :data:`MAX_BATCH_WIDTH` bits (the
+full product must fit one 64-bit lane); wider datapaths fall back to the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .booth import booth_digit_count
+from .fixed_point import signed_range
+from .gates import popcount
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .multiplier import BoothWallaceMultiplier
+
+#: Widest operand the batch engine handles: the double-width product and all
+#: intermediate bit planes must fit one unsigned 64-bit lane.
+MAX_BATCH_WIDTH = 32
+
+_ONE = np.uint64(1)
+
+# numpy >= 2.0 has a native vectorised popcount; keep a byte-LUT fallback so
+# the engine degrades gracefully on older runtimes.
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+_POPCOUNT_LUT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+def bit_count(patterns: np.ndarray) -> np.ndarray:
+    """Element-wise population count of an unsigned 64-bit pattern array."""
+    patterns = np.ascontiguousarray(patterns, dtype=np.uint64)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(patterns).astype(np.int64)
+    as_bytes = patterns.view(np.uint8).reshape(patterns.shape + (8,))
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1)
+
+
+def _unsigned_mask(bits: int) -> np.uint64:
+    if not 1 <= bits <= 64:
+        raise ValueError(f"bits must be in [1, 64], got {bits}")
+    return np.uint64((1 << bits) - 1)
+
+
+def first_out_of_range(values: np.ndarray, bits: int) -> int | None:
+    """First element of ``values`` outside the signed ``bits``-bit range.
+
+    Returns ``None`` when every element fits.  Shared by the batch entry
+    points so the range check (and its first-offender semantics) lives in
+    one place; callers format their own error message to stay consistent
+    with their scalar counterpart.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lo, hi = signed_range(bits)
+    if values.size and (int(values.min()) < lo or int(values.max()) > hi):
+        return int(values[(values < lo) | (values > hi)][0])
+    return None
+
+
+def batch_to_twos_complement(values: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`~repro.arithmetic.fixed_point.to_twos_complement`."""
+    values = np.asarray(values, dtype=np.int64)
+    bad = first_out_of_range(values, bits)
+    if bad is not None:
+        raise ValueError(f"value {bad} does not fit in {bits} signed bits")
+    return values.astype(np.uint64) & _unsigned_mask(bits)
+
+
+def batch_from_twos_complement(patterns: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorised :func:`~repro.arithmetic.fixed_point.from_twos_complement`."""
+    patterns = np.asarray(patterns, dtype=np.uint64) & _unsigned_mask(bits)
+    signed = patterns.astype(np.int64)
+    if bits == 64:
+        return signed
+    sign_bit = np.int64(1) << np.int64(bits - 1)
+    return np.where(signed >= sign_bit, signed - (np.int64(1) << np.int64(bits)), signed)
+
+
+def batch_truncate_lsbs(values: np.ndarray, bits: int, active_bits: int) -> np.ndarray:
+    """Vectorised :func:`~repro.arithmetic.fixed_point.truncate_lsbs`."""
+    if not 1 <= active_bits <= bits:
+        raise ValueError(f"active_bits must be in [1, {bits}], got {active_bits}")
+    lo, hi = signed_range(bits)
+    values = np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+    drop = bits - active_bits
+    if drop == 0:
+        return values
+    patterns = values.astype(np.uint64) & _unsigned_mask(bits)
+    patterns &= ~_unsigned_mask(drop)
+    return batch_from_twos_complement(patterns, bits)
+
+
+def batch_round_lsbs(values: np.ndarray, bits: int, active_bits: int) -> np.ndarray:
+    """Vectorised :func:`~repro.arithmetic.fixed_point.round_lsbs`."""
+    if not 1 <= active_bits <= bits:
+        raise ValueError(f"active_bits must be in [1, {bits}], got {active_bits}")
+    lo, hi = signed_range(bits)
+    values = np.clip(np.asarray(values, dtype=np.int64), lo, hi)
+    drop = bits - active_bits
+    if drop == 0:
+        return values
+    step = np.int64(1) << np.int64(drop)
+    half = step // 2
+    positive = ((values + half) // step) * step
+    negative = -(((-values + half) // step) * step)
+    return np.clip(np.where(values >= 0, positive, negative), lo, hi)
+
+
+def batch_booth_digits(values: np.ndarray, width: int) -> np.ndarray:
+    """Radix-4 Booth digits of a batch of signed ``width``-bit values.
+
+    Returns an ``(N, booth_digit_count(width))`` int64 array, least
+    significant digit first, matching
+    :func:`~repro.arithmetic.booth.booth_recode` row by row.
+    """
+    mask = _unsigned_mask(width)
+    patterns = batch_to_twos_complement(values, width)
+    sign = (patterns >> np.uint64(width - 1)) & _ONE
+    extended = patterns | np.where(sign.astype(bool), ~mask, np.uint64(0))
+    digits = np.empty((patterns.shape[0], booth_digit_count(width)), dtype=np.int64)
+    for index in range(digits.shape[1]):
+        if index == 0:
+            low = np.zeros(patterns.shape[0], dtype=np.int64)
+        else:
+            low = ((extended >> np.uint64(2 * index - 1)) & _ONE).astype(np.int64)
+        mid = ((extended >> np.uint64(2 * index)) & _ONE).astype(np.int64)
+        high = ((extended >> np.uint64(2 * index + 1)) & _ONE).astype(np.int64)
+        digits[:, index] = mid + low - 2 * high
+    return digits
+
+
+def batch_digit_codes(digits: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`~repro.arithmetic.booth.digit_to_code` (neg, two, one)."""
+    digits = np.asarray(digits, dtype=np.int64)
+    neg = (digits < 0).astype(np.uint64)
+    magnitude = np.abs(digits)
+    two = (magnitude == 2).astype(np.uint64)
+    one = (magnitude == 1).astype(np.uint64)
+    return (neg << np.uint64(2)) | (two << _ONE) | one
+
+
+def batch_partial_products(
+    multiplicands: np.ndarray, digits: np.ndarray, width: int
+) -> np.ndarray:
+    """Shifted Booth partial-product patterns, masked to the product width.
+
+    ``multiplicands`` is ``(N,)`` signed, ``digits`` is ``(N, rows)``; the
+    result is the ``(N, rows)`` uint64 equivalent of
+    ``(digit * multiplicand * 4**index) & ((1 << 2 * width) - 1)``.
+    """
+    product_mask = _unsigned_mask(2 * width)
+    x_u = np.asarray(multiplicands, dtype=np.int64).astype(np.uint64)
+    d_u = np.asarray(digits, dtype=np.int64).astype(np.uint64)
+    shifts = (2 * np.arange(d_u.shape[1], dtype=np.uint64)).astype(np.uint64)
+    return ((d_u * x_u[:, None]) << shifts[None, :]) & product_mask
+
+
+@dataclass
+class BatchReductionTrace:
+    """Carry-save reduction of a batch: per-level row patterns + final rows.
+
+    ``levels[i]`` is the ``(N, rows_i)`` uint64 pattern array produced by
+    compression level ``i``; ``sum_rows`` / ``carry_rows`` are the two final
+    ``(N,)`` rows whose modular sum is the product pattern.
+    """
+
+    levels: list[np.ndarray]
+    sum_rows: np.ndarray
+    carry_rows: np.ndarray
+
+
+def batch_reduce_rows(rows: np.ndarray, product_bits: int) -> BatchReductionTrace:
+    """Vectorised :func:`~repro.arithmetic.wallace.reduce_rows`.
+
+    The compression schedule (triples first, then one pair, then a passthrough
+    row) is identical to the scalar implementation, so every level's bit
+    patterns match row for row.
+    """
+    if product_bits < 1:
+        raise ValueError("product_bits must be at least 1")
+    mask = _unsigned_mask(product_bits)
+    rows = np.asarray(rows, dtype=np.uint64)
+    count = rows.shape[0]
+    current = [rows[:, i] & mask for i in range(rows.shape[1])]
+    if not current:
+        zero = np.zeros(count, dtype=np.uint64)
+        return BatchReductionTrace(levels=[], sum_rows=zero, carry_rows=zero.copy())
+
+    levels: list[np.ndarray] = []
+    while len(current) > 2:
+        next_rows: list[np.ndarray] = []
+        index = 0
+        while index + 3 <= len(current):
+            a, b, c = current[index : index + 3]
+            next_rows.append((a ^ b ^ c) & mask)
+            next_rows.append((((a & b) | (a & c) | (b & c)) << _ONE) & mask)
+            index += 3
+        remaining = len(current) - index
+        if remaining == 2:
+            a, b = current[index], current[index + 1]
+            next_rows.append((a ^ b) & mask)
+            next_rows.append(((a & b) << _ONE) & mask)
+        elif remaining == 1:
+            next_rows.append(current[index])
+        levels.append(np.stack(next_rows, axis=1))
+        current = next_rows
+
+    if len(current) == 1:
+        current = [current[0], np.zeros(count, dtype=np.uint64)]
+    return BatchReductionTrace(levels=levels, sum_rows=current[0], carry_rows=current[1])
+
+
+def chained_toggle_counts(
+    patterns: np.ndarray, baseline: list[int] | None
+) -> np.ndarray:
+    """Per-operation raw toggle counts of a chained pattern sequence.
+
+    ``patterns`` is ``(N, rows)``; operation ``i`` toggles the Hamming
+    distance between row-set ``i`` and row-set ``i - 1`` (operation 0 is
+    measured against ``baseline``, or all-zero rows when ``baseline`` is
+    ``None``).  A baseline with a different row count follows the scalar
+    rule: rows that appear or disappear contribute their full popcount.
+    """
+    patterns = np.asarray(patterns, dtype=np.uint64)
+    count, rows = patterns.shape
+    toggles = np.zeros(count, dtype=np.int64)
+    if count == 0:
+        return toggles
+    if count > 1:
+        toggles[1:] = bit_count(patterns[1:] ^ patterns[:-1]).sum(axis=1)
+    base = [0] * rows if baseline is None else list(baseline)
+    shared = min(len(base), rows)
+    first = 0
+    first_row = [int(value) for value in patterns[0]]
+    for old, new in zip(base[:shared], first_row[:shared]):
+        first += popcount(old ^ new)
+    longer = first_row if rows > len(base) else base
+    for extra in longer[shared:]:
+        first += popcount(int(extra))
+    toggles[0] = first
+    return toggles
+
+
+@dataclass
+class BatchMultiplyResult:
+    """Outcome of one :func:`batch_multiply` call.
+
+    Attributes
+    ----------
+    products:
+        ``(N,)`` signed products of the gated operands (int64).
+    per_op_weighted_toggles:
+        ``(N,)`` float64 gate-equivalent toggles of each operation summed
+        over all stages -- the quantity the subword wrapper needs to apply
+        its per-cycle reconfiguration overhead exactly like the scalar path.
+    stage_raw_toggles:
+        Total raw (unweighted) toggles per pipeline stage.
+    """
+
+    products: np.ndarray
+    per_op_weighted_toggles: np.ndarray
+    stage_raw_toggles: dict[str, int]
+
+
+def batch_multiply(
+    multiplier: "BoothWallaceMultiplier",
+    xs: np.ndarray | list[int],
+    ys: np.ndarray | list[int],
+) -> BatchMultiplyResult:
+    """Run a whole operand batch through a scalar multiplier's datapath.
+
+    Equivalent to calling ``multiplier.multiply(x, y)`` for every pair in
+    order: the multiplier's activity report, toggle baselines and word count
+    are updated exactly as the scalar walk would, and the returned products
+    are bit-identical.  The multiplier's current precision and rounding
+    configuration are honoured.
+    """
+    from .multiplier import STAGE_WEIGHTS
+
+    width = multiplier.width
+    if width > MAX_BATCH_WIDTH:
+        raise ValueError(
+            f"batch engine supports widths up to {MAX_BATCH_WIDTH}, got {width}"
+        )
+    try:
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+    except OverflowError as exc:
+        raise ValueError(f"operands must fit in {width} signed bits") from exc
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("operand batches must be equal-length 1-D arrays")
+    count = xs.shape[0]
+    if count == 0:
+        return BatchMultiplyResult(
+            products=np.zeros(0, dtype=np.int64),
+            per_op_weighted_toggles=np.zeros(0, dtype=np.float64),
+            stage_raw_toggles={},
+        )
+
+    for operands in (xs, ys):
+        if first_out_of_range(operands, width) is not None:
+            raise ValueError(f"operands must fit in {width} signed bits")
+
+    precision = multiplier.precision
+    if multiplier.rounding:
+        gated_x = batch_round_lsbs(xs, width, precision)
+        gated_y = batch_round_lsbs(ys, width, precision)
+    else:
+        gated_x = batch_truncate_lsbs(xs, width, precision)
+        gated_y = batch_truncate_lsbs(ys, width, precision)
+
+    product_bits = multiplier.product_bits
+    per_op = np.zeros(count, dtype=np.float64)
+    raw_totals: dict[str, int] = {}
+
+    def count_stage(stage: str, key: str, patterns: np.ndarray) -> None:
+        toggles = chained_toggle_counts(patterns, multiplier._previous.get(key))
+        multiplier._previous[key] = [int(value) for value in patterns[-1]]
+        total = int(toggles.sum())
+        raw_totals[stage] = raw_totals.get(stage, 0) + total
+        weight = STAGE_WEIGHTS[stage]
+        multiplier.activity.record(stage, total * weight)
+        np.add(per_op, toggles * weight, out=per_op)
+
+    # Stage 1: operand registers.
+    input_patterns = np.stack(
+        [
+            batch_to_twos_complement(gated_x, width),
+            batch_to_twos_complement(gated_y, width),
+        ],
+        axis=1,
+    )
+    count_stage("input", "input", input_patterns)
+
+    # Stage 2: Booth encoding of the multiplier operand.
+    digits = batch_booth_digits(gated_y, width)
+    count_stage("booth_encode", "booth", batch_digit_codes(digits))
+
+    # Stage 3: partial-product selection.
+    pp_patterns = batch_partial_products(gated_x, digits, width)
+    count_stage("pp_generate", "pp", pp_patterns)
+
+    # Stage 4: Wallace (carry-save) reduction.
+    reduction = batch_reduce_rows(pp_patterns, product_bits)
+    for level_index, level in enumerate(reduction.levels):
+        count_stage("wallace", f"wallace{level_index}", level)
+
+    # Stage 5: final carry-propagate addition.
+    product_patterns = (reduction.sum_rows + reduction.carry_rows) & _unsigned_mask(
+        product_bits
+    )
+    count_stage("final_adder", "final", product_patterns[:, None])
+
+    multiplier.activity.words += count
+    return BatchMultiplyResult(
+        products=batch_from_twos_complement(product_patterns, product_bits),
+        per_op_weighted_toggles=per_op,
+        stage_raw_toggles=raw_totals,
+    )

@@ -13,7 +13,7 @@ with per-cell toggle counting -- a bit-true, event-free gate-level simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 def popcount(value: int) -> int:
@@ -29,9 +29,21 @@ def hamming_distance(a: int, b: int) -> int:
 
 
 def to_bits(pattern: int, width: int) -> list[int]:
-    """Little-endian list of ``width`` bits of ``pattern``."""
+    """Little-endian list of ``width`` bits of ``pattern``.
+
+    Raises
+    ------
+    ValueError
+        If ``pattern`` is negative, ``width`` is negative, or ``pattern``
+        does not fit in ``width`` bits (truncating silently would corrupt
+        toggle accounting downstream).
+    """
     if pattern < 0:
         raise ValueError("pattern must be non-negative")
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if pattern >> width:
+        raise ValueError(f"pattern {pattern} does not fit in {width} bits")
     return [(pattern >> i) & 1 for i in range(width)]
 
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..circuit.technology import TECH_40NM_LP_LVT, Technology
 from .fixed_point import wrap_signed
 from .gates import cell_cost, popcount, to_bits
@@ -157,7 +159,6 @@ class MacUnit:
         toggles = 0
         for lane, product in enumerate(products):
             updated = wrap_signed(self._accumulators[lane] + product, self.accumulator_bits)
-            pattern_old = updated_pattern = None
             pattern_old = self._previous_acc[lane] & ((1 << self.accumulator_bits) - 1)
             updated_pattern = updated & ((1 << self.accumulator_bits) - 1)
             toggles += popcount(pattern_old ^ updated_pattern)
@@ -170,12 +171,19 @@ class MacUnit:
         )
         return self.accumulators
 
-    def dot_product(self, xs: list[int], ys: list[int]) -> list[int]:
+    def dot_product(
+        self, xs: list[int], ys: list[int], *, batch: bool = True
+    ) -> list[int]:
         """Accumulate an entire operand stream (``parallelism`` values per step).
 
         The stream is consumed ``parallelism`` elements at a time; the final
-        accumulator values are returned.
+        accumulator values are returned.  With ``batch=True`` (the default)
+        the whole stream -- zero-guarding, lane multiplications and
+        accumulator updates -- is evaluated by the vectorised bit-plane
+        engine, bit-identically to the scalar cycle loop (``batch=False``).
         """
+        from .batch import MAX_BATCH_WIDTH
+
         mode = self.mode
         if len(xs) != len(ys):
             raise ValueError("operand streams must have equal length")
@@ -185,11 +193,83 @@ class MacUnit:
                 f"{mode.parallelism}"
             )
         self.clear()
+        if (
+            batch
+            and len(xs)
+            and mode.subword_bits <= MAX_BATCH_WIDTH
+            and self.accumulator_bits <= 64
+        ):
+            return self._dot_product_batch(xs, ys)
         for start in range(0, len(xs), mode.parallelism):
             self.multiply_accumulate(
                 xs[start : start + mode.parallelism],
                 ys[start : start + mode.parallelism],
             )
+        return self.accumulators
+
+    def _dot_product_batch(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Vectorised dot-product stream with scalar-identical accounting.
+
+        Fully guarded cycles (every lane has a zero operand) bypass the
+        multiplier and leave its toggle baseline untouched, exactly like the
+        scalar :meth:`multiply_accumulate` guard branch; the remaining cycles
+        run through the subword multiplier's batch stream and a wrapped
+        cumulative-sum accumulator model.
+        """
+        from .batch import bit_count
+
+        mode = self.mode
+        parallelism = mode.parallelism
+        x = np.asarray(xs, dtype=np.int64).reshape(-1, parallelism)
+        y = np.asarray(ys, dtype=np.int64).reshape(-1, parallelism)
+        self.statistics.operations += x.size
+
+        if self.guard_zero_operands:
+            guarded = (x == 0) | (y == 0)
+        else:
+            guarded = np.zeros_like(x, dtype=bool)
+        all_guarded = guarded.all(axis=1)
+        fully_guarded_cycles = int(all_guarded.sum())
+        self.statistics.guarded += int(guarded[all_guarded].sum())
+        if fully_guarded_cycles:
+            self.activity.record(
+                "guard",
+                fully_guarded_cycles * parallelism * cell_cost("and2").gate_equivalents,
+            )
+            self.activity.words += fully_guarded_cycles * parallelism
+
+        executed = ~all_guarded
+        if not executed.any():
+            return self.accumulators
+        effective_x = np.where(guarded[executed], 0, x[executed])
+        effective_y = np.where(guarded[executed], 0, y[executed])
+        self.statistics.guarded += int(guarded[executed].sum())
+
+        products = self.multiplier.multiply_stream(
+            effective_x.reshape(-1), effective_y.reshape(-1), batch=True
+        )
+        self.activity = self.activity.merged_with(_take_multiplier_activity(self.multiplier))
+
+        products = np.asarray(products, dtype=np.int64).reshape(-1, parallelism)
+        acc_mask = np.uint64((1 << self.accumulator_bits) - 1)
+        # Wrapped running sums: int64 wraparound is harmless because the
+        # accumulator pattern is taken modulo 2**accumulator_bits anyway.
+        running = np.cumsum(products, axis=0, dtype=np.int64)
+        patterns = running.astype(np.uint64) & acc_mask
+        flips = patterns.copy()
+        flips[1:] ^= patterns[:-1]
+        flips[0] ^= np.array(
+            [previous & int(acc_mask) for previous in self._previous_acc],
+            dtype=np.uint64,
+        )
+        self.activity.record(
+            "accumulator",
+            int(bit_count(flips).sum()) * cell_cost("full_adder").gate_equivalents / 2.0,
+        )
+
+        final = [wrap_signed(int(value), self.accumulator_bits) for value in running[-1]]
+        self._accumulators = list(final)
+        self._previous_acc = list(final)
         return self.accumulators
 
     def energy_per_operation_pj(self, voltage: float) -> float:

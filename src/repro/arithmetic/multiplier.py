@@ -272,13 +272,24 @@ class BoothWallaceMultiplier:
         return from_twos_complement(product_pattern, self.product_bits)
 
     def multiply_stream(
-        self, xs: np.ndarray | list[int], ys: np.ndarray | list[int]
+        self, xs: np.ndarray | list[int], ys: np.ndarray | list[int], *, batch: bool = True
     ) -> list[int]:
-        """Multiply two equal-length operand streams, accumulating activity."""
-        xs = [int(v) for v in xs]
-        ys = [int(v) for v in ys]
+        """Multiply two equal-length operand streams, accumulating activity.
+
+        With ``batch=True`` (the default) the stream is evaluated by the
+        vectorised bit-plane engine of :mod:`repro.arithmetic.batch`, which
+        is bit-identical to the scalar walk (same products, same toggle
+        accounting, same baseline state) but orders of magnitude faster.
+        ``batch=False`` forces the scalar golden-reference path.
+        """
         if len(xs) != len(ys):
             raise ValueError("operand streams must have equal length")
+        from .batch import MAX_BATCH_WIDTH, batch_multiply
+
+        if batch and self.width <= MAX_BATCH_WIDTH:
+            return [int(v) for v in batch_multiply(self, xs, ys).products]
+        xs = [int(v) for v in xs]
+        ys = [int(v) for v in ys]
         return [self.multiply(x, y) for x, y in zip(xs, ys)]
 
     def exact_reference(self, x: int, y: int) -> int:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..circuit.delay import CriticalPath
 from ..circuit.technology import TECH_40NM_LP_LVT, Technology
 from .fixed_point import pack_subwords, signed_range, unpack_subwords
@@ -212,14 +214,19 @@ class SubwordParallelMultiplier:
         products = self.multiply(xs, ys)
         return pack_subwords(products, 2 * mode.subword_bits)
 
-    def multiply_stream(self, xs: list[int], ys: list[int]) -> list[int]:
+    def multiply_stream(
+        self, xs: list[int], ys: list[int], *, batch: bool = True
+    ) -> list[int]:
         """Multiply a flat operand stream, ``parallelism`` pairs per cycle.
 
         The stream length must be a multiple of the current parallelism.
+        With ``batch=True`` (the default) each lane's sub-stream is evaluated
+        by the vectorised bit-plane engine; results and activity accounting
+        are bit-identical to the scalar cycle loop (``batch=False``).
         """
+        from .batch import MAX_BATCH_WIDTH
+
         mode = self._mode
-        xs = [int(v) for v in xs]
-        ys = [int(v) for v in ys]
         if len(xs) != len(ys):
             raise ValueError("operand streams must have equal length")
         if len(xs) % mode.parallelism:
@@ -227,6 +234,10 @@ class SubwordParallelMultiplier:
                 f"stream length {len(xs)} is not a multiple of parallelism "
                 f"{mode.parallelism}"
             )
+        if batch and len(xs) and mode.subword_bits <= MAX_BATCH_WIDTH:
+            return self._multiply_stream_batch(xs, ys)
+        xs = [int(v) for v in xs]
+        ys = [int(v) for v in ys]
         products: list[int] = []
         for start in range(0, len(xs), mode.parallelism):
             products.extend(
@@ -236,6 +247,45 @@ class SubwordParallelMultiplier:
                 )
             )
         return products
+
+    def _multiply_stream_batch(self, xs: list[int], ys: list[int]) -> list[int]:
+        """Vectorised lane-wise evaluation of a flat operand stream.
+
+        Every lane consumes its strided sub-stream through the batch engine;
+        the per-cycle reconfiguration overhead is then accumulated in stream
+        order so the ``segmentation`` activity matches the scalar per-cycle
+        records bit for bit.
+        """
+        from .batch import batch_multiply, first_out_of_range
+
+        mode = self._mode
+        parallelism = mode.parallelism
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        for operands in (xs, ys):
+            bad = first_out_of_range(operands, mode.subword_bits)
+            if bad is not None:
+                raise ValueError(
+                    f"operand {bad} does not fit in {mode.subword_bits} signed bits"
+                )
+
+        cycles = xs.size // parallelism
+        products = np.zeros(xs.size, dtype=np.int64)
+        per_cycle = np.zeros(cycles, dtype=np.float64)
+        for index, lane in enumerate(self._lanes):
+            result = batch_multiply(lane, xs[index::parallelism], ys[index::parallelism])
+            products[index::parallelism] = result.products
+            per_cycle += result.per_op_weighted_toggles
+
+        fresh = ActivityReport()
+        for lane in self._lanes:
+            fresh = fresh.merged_with(lane.take_activity())
+        self.activity = self.activity.merged_with(fresh)
+        # Per-cycle accumulation mirrors the scalar path's per-cycle
+        # ``record`` calls so the float result is bit-identical.
+        for value in (per_cycle * self.reconfiguration_overhead).tolist():
+            self.activity.record("segmentation", value)
+        return [int(v) for v in products]
 
     def _accumulate_lane_activity(self) -> None:
         fresh = ActivityReport()

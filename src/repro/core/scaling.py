@@ -143,6 +143,7 @@ def characterize_multiplier(
     seed: int = 2017,
     reconfiguration_overhead: float = 0.21,
     rounding: bool = False,
+    batch: bool = True,
 ) -> MultiplierCharacterization:
     """Characterise the DAS/DVAS and DVAFS multipliers across precisions.
 
@@ -165,6 +166,10 @@ def characterize_multiplier(
         Energy overhead fraction of the subword-parallel datapath.
     rounding:
         Gate operands by rounding instead of truncation (ablation knob).
+    batch:
+        Evaluate the operand streams with the vectorised bit-plane engine
+        (:mod:`repro.arithmetic.batch`); ``False`` forces the scalar
+        golden-reference walk.  Both paths produce bit-identical activity.
     """
     if width not in precisions:
         raise ValueError("precisions must include the full width (reference mode)")
@@ -178,7 +183,7 @@ def characterize_multiplier(
     # Reference: plain, non-reconfigurable multiplier at full precision.
     reference = BoothWallaceMultiplier(width, technology=technology, rounding=rounding)
     xs, ys = _random_operands(rng, width, samples)
-    reference.multiply_stream(xs, ys)
+    reference.multiply_stream(xs, ys, batch=batch)
     reference_das_activity = reference.activity.toggles_per_word
     baseline_energy = reference.activity.energy_per_word_pj(technology, nominal)
 
@@ -190,7 +195,7 @@ def characterize_multiplier(
         rounding=rounding,
     )
     dvafs_reference.set_precision(width)
-    dvafs_reference.multiply_stream(xs, ys)
+    dvafs_reference.multiply_stream(xs, ys, batch=batch)
     reference_dvafs_cycles = samples / dvafs_reference.mode.parallelism
     reference_dvafs_activity = (
         dvafs_reference.activity.total_weighted_toggles / reference_dvafs_cycles
@@ -206,7 +211,7 @@ def characterize_multiplier(
         das = BoothWallaceMultiplier(width, technology=technology, rounding=rounding)
         das.set_precision(precision)
         px, py = _random_operands(rng, width, samples)
-        das.multiply_stream(px, py)
+        das.multiply_stream(px, py, batch=batch)
         das_activity = das.activity.toggles_per_word
         das_levels = das.critical_path_levels()
         das_path = das.critical_path()
@@ -226,7 +231,8 @@ def characterize_multiplier(
         sub_y = rng.integers(lo, hi + 1, size=samples).tolist()
         usable = samples - (samples % mode.parallelism)
         dvafs.multiply_stream(
-            [int(v) for v in sub_x[:usable]], [int(v) for v in sub_y[:usable]]
+            [int(v) for v in sub_x[:usable]], [int(v) for v in sub_y[:usable]],
+            batch=batch,
         )
         cycles = usable / mode.parallelism
         dvafs_activity_cycle = dvafs.activity.total_weighted_toggles / cycles

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from ..analysis.metrics import EfficiencyReport
 from .modes import ENVISION_MODES, EnvisionMode, NOMINAL_FREQUENCY_MHZ, mode_for_precision
-from .power import EnvisionPowerBreakdown, EnvisionPowerModel
+from .power import EnvisionPowerModel
 
 
 @dataclass(frozen=True)

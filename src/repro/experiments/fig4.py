@@ -21,13 +21,14 @@ def run(
     input_length: int = 48,
     taps: int = 9,
     seed: int = 2017,
+    batch: bool = True,
 ) -> list[dict[str, object]]:
     """One record per (SW, technique, precision) with relative energy per word."""
     rows: list[dict[str, object]] = []
     for simd_width in simd_widths:
         processor = SimdProcessor(simd_width)
         workload = convolution_kernel(simd_width, input_length=input_length, taps=taps, seed=seed)
-        outputs, execution = run_convolution(processor, workload)
+        outputs, execution = run_convolution(processor, workload, batch=batch)
         if not np.array_equal(outputs, workload.reference_output()):
             raise AssertionError("SIMD convolution output mismatch")
         model = SimdPowerModel(simd_width)

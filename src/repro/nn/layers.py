@@ -14,11 +14,11 @@ dimension.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .quantization import QuantizationConfig, quantize
+from .quantization import QuantizationConfig, quantize, quantize_per_sample
 
 
 @dataclass
@@ -49,6 +49,17 @@ class Layer:
     def forward(self, inputs: np.ndarray, config: QuantizationConfig | None = None) -> np.ndarray:
         """Run the layer on a single sample (no batch dimension)."""
         raise NotImplementedError
+
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        """Run the layer on a batch ``(n, *sample_shape)`` of samples.
+
+        Layers override this with a fully vectorised implementation; the
+        default falls back to stacking per-sample forward passes.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        return np.stack([self.forward(sample, config) for sample in inputs])
 
     def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         """Shape of the layer output for a given input shape."""
@@ -207,6 +218,50 @@ class Conv2D(Layer):
             )
         return output
 
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        """Vectorised convolution of a ``(n, C, H, W)`` batch.
+
+        All window extraction happens through a strided view and every
+        (sample, output position, filter) product is computed in one
+        tensor contraction per group, which is how the batch datapath keeps
+        the figure/table reproductions off the per-sample Python loop.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected a (n, C, H, W) batch")
+        config = config or QuantizationConfig()
+        self.statistics.observe(inputs)
+
+        activations = quantize_per_sample(inputs, config.activation_bits)
+        weights = quantize(self.weights, config.weight_bits)
+
+        out_channels, out_h, out_w = self.output_shape(inputs.shape[1:])
+        if self.padding:
+            pad = self.padding
+            padded = np.pad(activations, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        else:
+            padded = activations
+
+        k = self.kernel_size
+        windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+        windows = windows[:, :, :: self.stride, :: self.stride][:, :, :out_h, :out_w]
+
+        group_in = self.in_channels // self.groups
+        group_out = self.out_channels // self.groups
+        output = np.empty((inputs.shape[0], out_channels, out_h, out_w))
+        for group in range(self.groups):
+            group_windows = windows[:, group * group_in : (group + 1) * group_in]
+            group_weights = weights[group * group_out : (group + 1) * group_out]
+            result = np.einsum(
+                "ncxykl,fckl->nfxy", group_windows, group_weights, optimize=True
+            )
+            output[:, group * group_out : (group + 1) * group_out] = (
+                result + self.bias[group * group_out : (group + 1) * group_out][:, None, None]
+            )
+        return output
+
 
 class ReLU(Layer):
     """Rectified linear unit, ``f(u) = max(0, u)``."""
@@ -222,6 +277,11 @@ class ReLU(Layer):
         inputs = np.asarray(inputs, dtype=np.float64)
         self.statistics.observe(inputs)
         return np.maximum(inputs, 0.0)
+
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        return self.forward(inputs, config)
 
 
 class MaxPool2D(Layer):
@@ -249,6 +309,19 @@ class MaxPool2D(Layer):
         reshaped = trimmed.reshape(channels, out_h, self.size, out_w, self.size)
         return reshaped.max(axis=(2, 4))
 
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"{self.name}: expected a (n, C, H, W) batch")
+        self.statistics.observe(inputs)
+        count, channels, height, width = inputs.shape
+        out_h, out_w = height // self.size, width // self.size
+        trimmed = inputs[:, :, : out_h * self.size, : out_w * self.size]
+        reshaped = trimmed.reshape(count, channels, out_h, self.size, out_w, self.size)
+        return reshaped.max(axis=(3, 5))
+
 
 class Flatten(Layer):
     """Flatten a feature map into a vector for the fully-connected stage."""
@@ -264,6 +337,13 @@ class Flatten(Layer):
 
     def forward(self, inputs: np.ndarray, config: QuantizationConfig | None = None) -> np.ndarray:
         return np.asarray(inputs, dtype=np.float64).reshape(-1)
+
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        features = int(np.prod(inputs.shape[1:], dtype=np.int64))
+        return inputs.reshape(inputs.shape[0], features)
 
 
 class FullyConnected(Layer):
@@ -313,3 +393,19 @@ class FullyConnected(Layer):
         activations = quantize(inputs, config.activation_bits)
         weights = quantize(self.weights, config.weight_bits)
         return weights @ activations + self.bias
+
+    def forward_batch(
+        self, inputs: np.ndarray, config: QuantizationConfig | None = None
+    ) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2:
+            raise ValueError(f"{self.name}: expected a (n, features) batch")
+        if inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} inputs, got {inputs.shape[1]}"
+            )
+        config = config or QuantizationConfig()
+        self.statistics.observe(inputs)
+        activations = quantize_per_sample(inputs, config.activation_bits)
+        weights = quantize(self.weights, config.weight_bits)
+        return activations @ weights.T + self.bias

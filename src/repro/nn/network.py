@@ -133,12 +133,28 @@ class Network:
         samples: np.ndarray,
         *,
         configs: dict[str, QuantizationConfig] | None = None,
+        batch: bool = True,
     ) -> np.ndarray:
-        """Run a batch ``(n, *input_shape)``; returns stacked outputs."""
+        """Run a batch ``(n, *input_shape)``; returns stacked outputs.
+
+        With ``batch=True`` (the default) every layer processes the whole
+        batch in one vectorised call; ``batch=False`` falls back to stacking
+        per-sample forward passes (the reference path).
+        """
         samples = np.asarray(samples, dtype=np.float64)
         if samples.ndim != len(self.input_shape) + 1:
             raise ValueError("expected a batch with one leading sample dimension")
-        return np.stack([self.forward(sample, configs=configs) for sample in samples])
+        if samples.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected input shape {self.input_shape}, got {samples.shape[1:]}"
+            )
+        if not batch:
+            return np.stack([self.forward(sample, configs=configs) for sample in samples])
+        configs = configs or {}
+        tensors = samples
+        for layer in self.layers:
+            tensors = layer.forward_batch(tensors, configs.get(layer.name))
+        return tensors
 
     def predict(
         self,

@@ -83,6 +83,35 @@ def quantize(tensor: np.ndarray, bits: int | None) -> np.ndarray:
     return codes * scale
 
 
+def quantize_per_sample(tensor: np.ndarray, bits: int | None) -> np.ndarray:
+    """Quantise each sample of a batch independently, in one vectorised pass.
+
+    Equivalent to ``np.stack([quantize(sample, bits) for sample in tensor])``:
+    every sample along axis 0 gets its own dynamic-range scale, exactly like
+    the per-sample forward path, but scales, rounding and clipping are
+    evaluated for the whole batch at once.
+    """
+    if bits is None:
+        return np.asarray(tensor, dtype=np.float64)
+    tensor = np.asarray(tensor, dtype=np.float64)
+    if tensor.ndim < 2:
+        raise ValueError("per-sample quantisation needs a batch dimension")
+    axes = tuple(range(1, tensor.ndim))
+    if bits == 1:
+        scale = np.mean(np.abs(tensor), axis=axes, keepdims=True)
+        signs = np.where(tensor >= 0.0, 1.0, -1.0)
+        return np.where(scale == 0.0, 0.0, signs * scale)
+    max_abs = np.max(np.abs(tensor), axis=axes, keepdims=True)
+    levels = max(1, 2 ** (bits - 1) - 1)
+    with np.errstate(divide="ignore"):
+        exponent = np.ceil(np.log2(max_abs / levels))
+    scale = np.where(max_abs == 0.0, 1.0, 2.0**exponent)
+    lo = -(2 ** (bits - 1))
+    hi = 2 ** (bits - 1) - 1
+    codes = np.clip(np.round(tensor / scale), lo, hi)
+    return codes * scale
+
+
 def quantize_to_codes(tensor: np.ndarray, bits: int) -> tuple[np.ndarray, float]:
     """Quantise and return ``(integer codes, scale)`` for integer pipelines."""
     if bits < 1:

@@ -104,11 +104,19 @@ class Trainer:
 
     # -- backward ----------------------------------------------------------------
 
-    def _backward_sample(self, gradient: np.ndarray, caches: list[dict], gradients: dict[int, dict[str, np.ndarray]]) -> None:
+    def _backward_sample(
+        self,
+        gradient: np.ndarray,
+        caches: list[dict],
+        gradients: dict[int, dict[str, np.ndarray]],
+    ) -> None:
         for cache in reversed(caches):
             layer: Layer = cache["layer"]
             if isinstance(layer, FullyConnected):
-                entry = gradients.setdefault(id(layer), {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)})
+                entry = gradients.setdefault(
+                    id(layer),
+                    {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)},
+                )
                 entry["weights"] += np.outer(gradient, cache["input"])
                 entry["bias"] += gradient
                 gradient = layer.weights.T @ gradient
@@ -119,7 +127,10 @@ class Trainer:
             elif isinstance(layer, MaxPool2D):
                 gradient = _pool_backward(layer, gradient, cache)
             elif isinstance(layer, Conv2D):
-                entry = gradients.setdefault(id(layer), {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)})
+                entry = gradients.setdefault(
+                    id(layer),
+                    {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)},
+                )
                 gradient = _conv_backward(layer, gradient, cache, entry)
             else:  # pragma: no cover - forward already rejects unknown layers
                 raise TypeError(f"trainer does not support layer type {type(layer).__name__}")
@@ -140,7 +151,14 @@ class Trainer:
                 velocity[key] = self.momentum * velocity[key] - self.learning_rate * gradient
                 parameter += velocity[key]
 
-    def train_epoch(self, images: np.ndarray, labels: np.ndarray, *, batch_size: int = 32, rng: np.random.Generator | None = None) -> float:
+    def train_epoch(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        *,
+        batch_size: int = 32,
+        rng: np.random.Generator | None = None,
+    ) -> float:
         """One epoch of mini-batch SGD; returns the mean loss."""
         if images.shape[0] != labels.shape[0]:
             raise ValueError("images and labels must have the same length")

@@ -3,7 +3,15 @@
 import pytest
 
 from repro.arithmetic.adder import CarryLookaheadModel, RippleCarryAdder
-from repro.arithmetic.gates import CELL_COSTS, Netlist, cell_cost, hamming_distance, popcount
+from repro.arithmetic.gates import (
+    CELL_COSTS,
+    Netlist,
+    cell_cost,
+    from_bits,
+    hamming_distance,
+    popcount,
+    to_bits,
+)
 
 
 class TestBitUtilities:
@@ -17,6 +25,25 @@ class TestBitUtilities:
 
     def test_hamming_distance(self):
         assert hamming_distance(0b1100, 0b1010) == 2
+
+    def test_to_bits_roundtrip(self):
+        assert to_bits(0b1011, 4) == [1, 1, 0, 1]
+        assert from_bits(to_bits(0b1011, 4)) == 0b1011
+        assert to_bits(0, 0) == []
+
+    def test_to_bits_rejects_pattern_wider_than_width(self):
+        # Regression: wide patterns used to be silently truncated, which
+        # would corrupt any toggle accounting built on the result.
+        with pytest.raises(ValueError):
+            to_bits(0b10000, 4)
+        with pytest.raises(ValueError):
+            to_bits(1, 0)
+
+    def test_to_bits_rejects_negative_arguments(self):
+        with pytest.raises(ValueError):
+            to_bits(-1, 4)
+        with pytest.raises(ValueError):
+            to_bits(0, -1)
 
 
 class TestCellCosts:
