@@ -1,7 +1,9 @@
 """Fig. 4: SIMD-processor energy per word vs. precision (SW = 8 and 64).
 
-Runs the convolution benchmark on the cycle-level SIMD simulator, calibrates
-the power model to the published full-precision reference point, and sweeps
+Runs the convolution benchmark on the SIMD processor model -- through the
+trace-compiled execution engine by default (``batch=True``), which produces
+counters bit-identical to the cycle-level interpreter -- calibrates the
+power model to the published full-precision reference point, and sweeps
 DAS / DVAS / DVAFS across the 16 / 12 / 8 / 4 b precisions at constant
 throughput, normalising to the 1 x 16 b point of the same SW.
 """

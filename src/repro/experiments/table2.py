@@ -2,7 +2,9 @@
 
 For SW = 8 and SW = 64 and the modes 1x16b, 1x8b, 1x4b (DVAS) and 2x8b,
 4x4b (DVAFS), reports the supplies, the mem / nas / as percentage split and
-the total power, next to the values published in the paper.
+the total power, next to the values published in the paper.  The convolution
+counters come from the trace-compiled execution engine by default
+(``batch=True``); they are bit-identical to the cycle-level interpreter.
 """
 
 from __future__ import annotations

@@ -68,17 +68,20 @@ def measure_sparsity(
     samples: np.ndarray,
     *,
     configs: dict[str, QuantizationConfig] | None = None,
+    batch: bool = True,
 ) -> list[LayerSparsity]:
     """Run ``samples`` through the network and report per-layer sparsity.
 
     Weight sparsity is static; input sparsity is measured on the activations
     that actually reached each weighted layer (ReLU makes deeper layers much
-    sparser, which is exactly the effect Table III shows).
+    sparser, which is exactly the effect Table III shows).  ``batch`` selects
+    the vectorised whole-batch forward (the default) or the per-sample
+    reference path.
     """
     for layer in network.weighted_layers():
         layer.statistics.activations_seen = 0
         layer.statistics.zero_activations = 0
-    network.forward_batch(samples, configs=configs)
+    network.forward_batch(samples, configs=configs, batch=batch)
     report = []
     for layer in network.weighted_layers():
         report.append(

@@ -11,6 +11,12 @@ max pooling via argmax masks, ReLU, fully-connected), updating the layer
 weights in place with mini-batch SGD and momentum on a softmax cross-entropy
 loss.  It is deliberately simple: small networks, small images, a few epochs
 -- enough to reach high accuracy on the synthetic digits within seconds.
+
+Both passes run whole mini-batches at once by default (``vectorized=True``):
+batched im2col forward, col2im via ``np.add.at``, pooling backward via fancy
+indexing.  The original per-sample loops are kept as the reference path
+(``vectorized=False``); the two agree to float rounding (gradients are summed
+across the batch in a different order).
 """
 
 from __future__ import annotations
@@ -66,9 +72,19 @@ class Trainer:
         SGD step size.
     momentum:
         Classical momentum coefficient.
+    vectorized:
+        Process whole mini-batches per numpy call (the default); ``False``
+        selects the original per-sample reference loops.
     """
 
-    def __init__(self, network: Network, *, learning_rate: float = 0.05, momentum: float = 0.9):
+    def __init__(
+        self,
+        network: Network,
+        *,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        vectorized: bool = True,
+    ):
         if learning_rate <= 0:
             raise ValueError("learning_rate must be positive")
         if not 0.0 <= momentum < 1.0:
@@ -76,6 +92,7 @@ class Trainer:
         self.network = network
         self.learning_rate = learning_rate
         self.momentum = momentum
+        self.vectorized = vectorized
         self._velocity: dict[int, dict[str, np.ndarray]] = {}
 
     # -- forward with caches ---------------------------------------------------
@@ -101,6 +118,31 @@ class Trainer:
                 raise TypeError(f"trainer does not support layer type {type(layer).__name__}")
             caches.append(cache)
         return tensor, caches
+
+    def _forward_batch(self, samples: np.ndarray) -> tuple[np.ndarray, list[dict]]:
+        """Whole-batch forward pass with one cache per *layer* (not sample)."""
+        caches: list[dict] = []
+        tensors = np.asarray(samples, dtype=np.float64)
+        for layer in self.network.layers:
+            cache: dict = {"input": tensors, "layer": layer}
+            if isinstance(layer, Conv2D):
+                tensors, cache["columns"], cache["padded_shape"] = _conv_forward_batch(
+                    layer, tensors
+                )
+            elif isinstance(layer, ReLU):
+                tensors = np.maximum(tensors, 0.0)
+                cache["mask"] = tensors > 0.0
+            elif isinstance(layer, MaxPool2D):
+                tensors, cache["argmax"] = _pool_forward_batch(layer, tensors)
+            elif isinstance(layer, Flatten):
+                cache["shape"] = tensors.shape
+                tensors = tensors.reshape(tensors.shape[0], -1)
+            elif isinstance(layer, FullyConnected):
+                tensors = tensors @ layer.weights.T + layer.bias
+            else:
+                raise TypeError(f"trainer does not support layer type {type(layer).__name__}")
+            caches.append(cache)
+        return tensors, caches
 
     # -- backward ----------------------------------------------------------------
 
@@ -132,6 +174,38 @@ class Trainer:
                     {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)},
                 )
                 gradient = _conv_backward(layer, gradient, cache, entry)
+            else:  # pragma: no cover - forward already rejects unknown layers
+                raise TypeError(f"trainer does not support layer type {type(layer).__name__}")
+
+    def _backward_batch(
+        self,
+        gradient: np.ndarray,
+        caches: list[dict],
+        gradients: dict[int, dict[str, np.ndarray]],
+    ) -> None:
+        """Whole-batch backward pass; sums parameter gradients over the batch."""
+        for cache in reversed(caches):
+            layer: Layer = cache["layer"]
+            if isinstance(layer, FullyConnected):
+                entry = gradients.setdefault(
+                    id(layer),
+                    {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)},
+                )
+                entry["weights"] += gradient.T @ cache["input"]
+                entry["bias"] += gradient.sum(axis=0)
+                gradient = gradient @ layer.weights
+            elif isinstance(layer, Flatten):
+                gradient = gradient.reshape(cache["shape"])
+            elif isinstance(layer, ReLU):
+                gradient = gradient * cache["mask"]
+            elif isinstance(layer, MaxPool2D):
+                gradient = _pool_backward_batch(layer, gradient, cache)
+            elif isinstance(layer, Conv2D):
+                entry = gradients.setdefault(
+                    id(layer),
+                    {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)},
+                )
+                gradient = _conv_backward_batch(layer, gradient, cache, entry)
             else:  # pragma: no cover - forward already rejects unknown layers
                 raise TypeError(f"trainer does not support layer type {type(layer).__name__}")
 
@@ -167,18 +241,23 @@ class Trainer:
         losses = []
         for start in range(0, len(order), batch_size):
             batch = order[start : start + batch_size]
-            logits = []
-            caches_per_sample = []
-            for index in batch:
-                logit, caches = self._forward_sample(images[index])
-                logits.append(logit)
-                caches_per_sample.append(caches)
-            logits = np.stack(logits)
-            loss, logit_gradients = cross_entropy_loss(logits, labels[batch])
-            losses.append(loss)
             gradients: dict[int, dict[str, np.ndarray]] = {}
-            for sample_gradient, caches in zip(logit_gradients, caches_per_sample):
-                self._backward_sample(sample_gradient, caches, gradients)
+            if self.vectorized:
+                logits, caches = self._forward_batch(images[batch])
+                loss, logit_gradients = cross_entropy_loss(logits, labels[batch])
+                self._backward_batch(logit_gradients, caches, gradients)
+            else:
+                logits = []
+                caches_per_sample = []
+                for index in batch:
+                    logit, caches = self._forward_sample(images[index])
+                    logits.append(logit)
+                    caches_per_sample.append(caches)
+                logits = np.stack(logits)
+                loss, logit_gradients = cross_entropy_loss(logits, labels[batch])
+                for sample_gradient, caches in zip(logit_gradients, caches_per_sample):
+                    self._backward_sample(sample_gradient, caches, gradients)
+            losses.append(loss)
             self._apply_gradients(gradients, batch_size=len(batch))
         return float(np.mean(losses))
 
@@ -273,4 +352,94 @@ def _pool_backward(layer: MaxPool2D, gradient: np.ndarray, cache: dict) -> np.nd
                 winner = argmax[channel, row, col]
                 win_row, win_col = divmod(int(winner), size)
                 result[channel, row * size + win_row, col * size + win_col] += gradient[channel, row, col]
+    return result
+
+
+# -- batched layer helpers ---------------------------------------------------------
+
+
+def _conv_forward_batch(
+    layer: Conv2D, tensors: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, tuple[int, ...]]:
+    """Batched im2col forward: one strided-view extraction and one matmul."""
+    if layer.groups != 1:
+        raise TypeError("the trainer supports only ungrouped convolutions")
+    batch = tensors.shape[0]
+    out_channels, out_h, out_w = layer.output_shape(tensors.shape[1:])
+    if layer.padding:
+        pad = layer.padding
+        padded = np.pad(tensors, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    else:
+        padded = tensors
+    k = layer.kernel_size
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+    windows = windows[:, :, :: layer.stride, :: layer.stride][:, :, :out_h, :out_w]
+    # (batch, C, out_h, out_w, k, k) -> (batch, positions, C*k*k), the same
+    # position-major / channel-major column layout as the per-sample _im2col.
+    columns = windows.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h * out_w, -1)
+    kernel_matrix = layer.weights.reshape(out_channels, -1)
+    result = columns @ kernel_matrix.T + layer.bias  # (batch, positions, filters)
+    output = result.transpose(0, 2, 1).reshape(batch, out_channels, out_h, out_w)
+    return output, columns, padded.shape
+
+
+def _conv_backward_batch(
+    layer: Conv2D, gradient: np.ndarray, cache: dict, entry: dict[str, np.ndarray]
+) -> np.ndarray:
+    """Batched col2im backward: the per-position Python loop becomes one
+    ``np.add.at`` scatter (overlapping patches of strided convolutions need
+    the unbuffered accumulation)."""
+    batch, out_channels, out_h, out_w = gradient.shape
+    gradient_matrix = gradient.reshape(batch, out_channels, -1).transpose(0, 2, 1)
+    columns = cache["columns"]  # (batch, positions, C*k*k)
+    entry["weights"] += np.tensordot(
+        gradient_matrix, columns, axes=([0, 1], [0, 1])
+    ).reshape(layer.weights.shape)
+    entry["bias"] += gradient.sum(axis=(0, 2, 3))
+
+    kernel_matrix = layer.weights.reshape(out_channels, -1)
+    column_gradients = gradient_matrix @ kernel_matrix  # (batch, positions, C*k*k)
+    k = layer.kernel_size
+    patches = column_gradients.reshape(batch, out_h, out_w, layer.in_channels, k, k)
+    padded_gradient = np.zeros(cache["padded_shape"])
+    samples = np.arange(batch)[:, None, None, None, None, None]
+    channels = np.arange(layer.in_channels)[None, None, None, :, None, None]
+    rows = (
+        (np.arange(out_h) * layer.stride)[None, :, None, None, None, None]
+        + np.arange(k)[None, None, None, None, :, None]
+    )
+    cols = (
+        (np.arange(out_w) * layer.stride)[None, None, :, None, None, None]
+        + np.arange(k)[None, None, None, None, None, :]
+    )
+    np.add.at(padded_gradient, (samples, channels, rows, cols), patches)
+    if layer.padding:
+        return padded_gradient[
+            :, :, layer.padding : -layer.padding, layer.padding : -layer.padding
+        ]
+    return padded_gradient
+
+
+def _pool_forward_batch(layer: MaxPool2D, tensors: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    batch, channels, height, width = tensors.shape
+    size = layer.size
+    out_h, out_w = height // size, width // size
+    trimmed = tensors[:, :, : out_h * size, : out_w * size]
+    windows = trimmed.reshape(batch, channels, out_h, size, out_w, size).transpose(
+        0, 1, 2, 4, 3, 5
+    )
+    flat = windows.reshape(batch, channels, out_h, out_w, size * size)
+    argmax = flat.argmax(axis=-1)
+    output = flat.max(axis=-1)
+    return output, argmax
+
+
+def _pool_backward_batch(layer: MaxPool2D, gradient: np.ndarray, cache: dict) -> np.ndarray:
+    """Scatter each window's gradient to its argmax cell via fancy indexing
+    (windows are disjoint, so every target cell is written at most once)."""
+    argmax = cache["argmax"]
+    size = layer.size
+    result = np.zeros_like(cache["input"])
+    samples, channels, rows, cols = np.indices(argmax.shape, sparse=True)
+    result[samples, channels, rows * size + argmax // size, cols * size + argmax % size] = gradient
     return result

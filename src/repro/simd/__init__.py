@@ -1,6 +1,7 @@
 """SIMD RISC vector-processor substrate (Section III-B of the paper)."""
 
 from .assembler import AssemblerError, assemble
+from .engine import BasicBlock, LoopTrace, TraceEngine, analyze_program, basic_blocks
 from .isa import Instruction, Opcode, Program, SCALAR_REGISTERS, VECTOR_REGISTERS
 from .kernels import (
     ConvolutionWorkload,
@@ -19,6 +20,11 @@ from .vector_unit import VectorUnit, VectorUnitCounters
 __all__ = [
     "AssemblerError",
     "assemble",
+    "BasicBlock",
+    "LoopTrace",
+    "TraceEngine",
+    "analyze_program",
+    "basic_blocks",
     "Instruction",
     "Opcode",
     "Program",

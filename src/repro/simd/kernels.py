@@ -14,8 +14,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from .assembler import assemble
+from .engine import TraceEngine
 from .isa import Program
-from .processor import SimdProcessor
+from .processor import ExecutionResult, SimdProcessor
 
 
 @dataclass
@@ -175,14 +176,15 @@ def read_outputs(processor: SimdProcessor, workload: ConvolutionWorkload) -> np.
 
 
 def run_convolution(
-    processor: SimdProcessor, workload: ConvolutionWorkload, *, batch: bool = False
-) -> tuple[np.ndarray, "ExecutionResult"]:
+    processor: SimdProcessor, workload: ConvolutionWorkload, *, batch: bool = True
+) -> tuple[np.ndarray, ExecutionResult]:
     """Load, execute and read back a convolution workload.
 
     Returns the output array and the execution result with event counters.
-    With ``batch=True`` the workload is evaluated by the vectorised batch
-    datapath (:func:`execute_convolution_batch`) instead of the cycle-level
-    interpreter; outputs and counters are identical, only wall-clock differs.
+    With ``batch=True`` (the default) the workload runs on the trace-compiled
+    execution engine (:class:`~repro.simd.engine.TraceEngine`) instead of the
+    cycle-level interpreter; outputs and counters are identical, only
+    wall-clock differs.
     """
     load_workload(processor, workload)
     if batch:
@@ -196,106 +198,20 @@ def run_convolution(
 def execute_convolution_batch(
     processor: SimdProcessor, workload: ConvolutionWorkload
 ) -> ExecutionResult:
-    """Evaluate a convolution workload as one vectorised batch operation.
+    """Evaluate a convolution workload on the trace-compiled engine.
 
-    The generated convolution program has a fixed, data-independent control
-    structure (an unrolled tap loop inside one output loop), so its event
-    counters can be derived in closed form while the arithmetic -- including
-    the zero-operand guard counts, which *are* data dependent -- is evaluated
-    with whole-array numpy operations.  The processor's memory contents,
-    memory/vector-unit counters and the returned :class:`ExecutionResult`
-    match :meth:`SimdProcessor.run` on the same workload exactly;
-    architectural register state is not reproduced.
-
-    Only single-subword modes are supported (the generated workloads do not
-    pack operands); reconfigure the processor or use the interpreter for
-    subword-parallel experiments.
+    Thin wrapper over :class:`~repro.simd.engine.TraceEngine`: the engine
+    detects the output loop of the generated program as an affine trace and
+    executes all iterations at once, so memory contents, event counters
+    (including the data-dependent zero-operand guard counts) and the returned
+    :class:`ExecutionResult` match :meth:`SimdProcessor.run` bit for bit --
+    in packed-subword modes (parallelism > 1) as well, which the previous
+    closed-form batch executor rejected.  Programs the engine cannot analyze
+    fall back to the interpreter dispatch loop automatically.
     """
-    from .isa import Opcode
-
-    mode = processor.vector_unit.mode
-    if mode.parallelism != 1:
-        raise ValueError(
-            "batch execution supports only 1-subword modes; "
-            "use the cycle-level interpreter for packed-operand runs"
-        )
     if processor.simd_width != workload.inputs.shape[0]:
         raise ValueError(
             f"workload was generated for {workload.inputs.shape[0]} banks, "
             f"processor has {processor.simd_width}"
         )
-    lanes = processor.simd_width
-    taps = workload.taps
-    length = workload.output_length
-    # Guard against hand-modified programs: the closed-form counters below
-    # are only valid for the exact program convolution_kernel generates.
-    expected = assemble(
-        _convolution_source(
-            taps,
-            length,
-            workload.input_base,
-            workload.weight_base,
-            workload.output_base,
-        )
-    )
-    if list(workload.program) != list(expected):
-        raise ValueError(
-            "workload program does not match the generated convolution kernel; "
-            "use the cycle-level interpreter (batch=False)"
-        )
-    inputs = np.asarray(workload.inputs, dtype=np.int64)
-    weights = np.asarray(workload.weights, dtype=np.int64)
-
-    # Arithmetic: every (output, tap) MAC of every lane at once.
-    windows = np.lib.stride_tricks.sliding_window_view(inputs, taps, axis=1)[:, :length]
-    sums = windows @ weights
-    lo, hi = -(1 << (processor.word_bits - 1)), (1 << (processor.word_bits - 1)) - 1
-    outputs = np.clip(sums, lo, hi).astype(np.int64)
-    for bank in range(lanes):
-        processor.memory.load_bank(bank, workload.output_base, outputs[bank])
-
-    # Event counters of the (fully unrolled) kernel, in closed form.
-    counters = ExecutionCounters()
-    counters.cycles = 2 + length * (3 * taps + 5) + 1
-    counters.instructions = counters.cycles
-    counters.scalar_operations = 2 + 2 * length
-    counters.vector_memory_reads = 2 * taps * length
-    counters.vector_memory_writes = length
-    counters.vector_alu_instructions = length * (taps + 2)
-    counters.branches_taken = length - 1
-    counters.opcode_histogram = {
-        Opcode.LI.value: 2,
-        Opcode.VCLR.value: length,
-        Opcode.VLOAD.value: 2 * taps * length,
-        Opcode.VMAC.value: taps * length,
-        Opcode.VSTACC.value: length,
-        Opcode.VSTORE.value: length,
-        Opcode.ADDI.value: length,
-        Opcode.BLT.value: length,
-        Opcode.HALT.value: 1,
-    }
-
-    unit = processor.vector_unit.counters
-    unit.mac_operations += taps * length * lanes
-    unit.mac_cycles += taps * length
-    if processor.vector_unit.guard_zero_operands:
-        guarded = (windows == 0) | (weights == 0)[None, None, :]
-        unit.guarded_macs += int(guarded.sum())
-
-    active_bits = processor.precision_bits
-    memory = processor.memory.counters
-    memory.reads += counters.vector_memory_reads * lanes
-    memory.read_bits += counters.vector_memory_reads * lanes * active_bits
-    memory.writes += counters.vector_memory_writes * lanes
-    memory.write_bits += counters.vector_memory_writes * lanes * active_bits
-
-    return ExecutionResult(
-        counters=counters,
-        halted=True,
-        precision_bits=processor.precision_bits,
-        parallelism=mode.parallelism,
-    )
-
-
-# Re-exported for type checkers without importing processor publics here.
-from .processor import ExecutionCounters, ExecutionResult  # noqa: E402  (import at end to avoid cycle)
+    return TraceEngine(processor).run(workload.program)

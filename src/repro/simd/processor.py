@@ -56,11 +56,18 @@ class ExecutionResult:
     halted: bool
     precision_bits: int
     parallelism: int
+    lanes: int = 1
 
     @property
     def words_processed(self) -> int:
-        """Number of MAC result words produced (lanes x subwords x cycles)."""
-        return self.counters.vector_alu_instructions
+        """Vector-ALU result words produced by the run.
+
+        Every vector-ALU instruction produces one result word per lane, and
+        in subword-parallel modes each lane word carries ``parallelism``
+        packed results -- so the count is instructions x lanes x parallelism,
+        matching the per-word energy accounting of the power model.
+        """
+        return self.counters.vector_alu_instructions * self.lanes * self.parallelism
 
 
 class SimdProcessor:
@@ -97,6 +104,29 @@ class SimdProcessor:
             simd_width, word_bits=word_bits, guard_zero_operands=guard_zero_operands
         )
         self.precision_bits = word_bits
+        # One-time decode: opcode -> bound handler.  Replaces the long
+        # if/elif chain so the fetch loop pays one dict lookup per cycle.
+        self._dispatch = {
+            Opcode.NOP: self._op_nop,
+            Opcode.LI: self._op_li,
+            Opcode.ADD: self._op_add,
+            Opcode.ADDI: self._op_addi,
+            Opcode.SUB: self._op_sub,
+            Opcode.MUL: self._op_mul,
+            Opcode.BNE: self._op_bne,
+            Opcode.BLT: self._op_blt,
+            Opcode.JMP: self._op_jmp,
+            Opcode.SETPREC: self._op_setprec,
+            Opcode.VLOAD: self._op_vload,
+            Opcode.VSTORE: self._op_vstore,
+            Opcode.VBCAST: self._op_vbcast,
+            Opcode.VMAC: self._op_vmac,
+            Opcode.VMUL: self._op_vmul,
+            Opcode.VADD: self._op_vadd,
+            Opcode.VRELU: self._op_vrelu,
+            Opcode.VCLR: self._op_vclr,
+            Opcode.VSTACC: self._op_vstacc,
+        }
 
     # -- state management ----------------------------------------------------
 
@@ -146,91 +176,140 @@ class SimdProcessor:
             halted=halted,
             precision_bits=self.precision_bits,
             parallelism=self.vector_unit.mode.parallelism,
+            lanes=self.simd_width,
         )
 
     def _execute(
         self, instruction: Instruction, counters: ExecutionCounters, pc: int, next_pc: int
     ) -> int:
         opcode = instruction.opcode
-        operands = instruction.operands
-        scalars = self.scalar_registers
-        vectors = self.vector_registers
-
         if opcode in SCALAR_OPCODES:
             counters.scalar_operations += 1
-
-        if opcode == Opcode.NOP:
-            return next_pc
-        if opcode == Opcode.LI:
-            scalars.write(operands[0], operands[1])
-        elif opcode == Opcode.ADD:
-            scalars.write(operands[0], scalars.read(operands[1]) + scalars.read(operands[2]))
-        elif opcode == Opcode.ADDI:
-            scalars.write(operands[0], scalars.read(operands[1]) + operands[2])
-        elif opcode == Opcode.SUB:
-            scalars.write(operands[0], scalars.read(operands[1]) - scalars.read(operands[2]))
-        elif opcode == Opcode.MUL:
-            scalars.write(operands[0], scalars.read(operands[1]) * scalars.read(operands[2]))
-        elif opcode == Opcode.BNE:
-            if scalars.read(operands[0]) != scalars.read(operands[1]):
-                counters.branches_taken += 1
-                return operands[2]
-        elif opcode == Opcode.BLT:
-            if scalars.read(operands[0]) < scalars.read(operands[1]):
-                counters.branches_taken += 1
-                return operands[2]
-        elif opcode == Opcode.JMP:
-            counters.branches_taken += 1
-            return operands[0]
-        elif opcode == Opcode.SETPREC:
-            self.set_precision(operands[0])
-        elif opcode == Opcode.VLOAD:
-            address = scalars.read(operands[1]) + operands[2]
-            values = self.memory.read_vector(address, active_bits=self._memory_active_bits())
-            vectors.write(operands[0], values)
-            counters.vector_memory_reads += 1
-        elif opcode == Opcode.VSTORE:
-            address = scalars.read(operands[1]) + operands[2]
-            self.memory.write_vector(
-                address, vectors.read(operands[0]), active_bits=self._memory_active_bits()
-            )
-            counters.vector_memory_writes += 1
-        elif opcode == Opcode.VBCAST:
-            value = scalars.read(operands[1])
-            vectors.write(operands[0], np.full(self.simd_width, value, dtype=np.int64))
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VMAC:
-            products = self.vector_unit.multiply_accumulate(
-                vectors.read(operands[0]), vectors.read(operands[1])
-            )
-            vectors.accumulate(products)
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VMUL:
-            result = self.vector_unit.elementwise(
-                "mul", vectors.read(operands[1]), vectors.read(operands[2])
-            )
-            vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VADD:
-            result = self.vector_unit.elementwise(
-                "add", vectors.read(operands[1]), vectors.read(operands[2])
-            )
-            vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VRELU:
-            result = self.vector_unit.elementwise("relu", vectors.read(operands[1]))
-            vectors.write(operands[0], result)
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VCLR:
-            vectors.clear_accumulators()
-            counters.vector_alu_instructions += 1
-        elif opcode == Opcode.VSTACC:
-            vectors.write(operands[0], vectors.saturate_accumulators())
-            counters.vector_alu_instructions += 1
-        elif opcode in VECTOR_MEMORY_OPCODES or opcode in VECTOR_ALU_OPCODES:
-            raise ExecutionError(f"unhandled vector opcode {opcode.value}")
-        else:
+        handler = self._dispatch.get(opcode)
+        if handler is None:
+            if opcode in VECTOR_MEMORY_OPCODES or opcode in VECTOR_ALU_OPCODES:
+                raise ExecutionError(f"unhandled vector opcode {opcode.value}")
             raise ExecutionError(f"unhandled opcode {opcode.value}")
+        return handler(instruction.operands, counters, next_pc)
+
+    # -- per-opcode handlers (the decode table) --------------------------------
+
+    def _op_nop(self, operands, counters, next_pc: int) -> int:
+        return next_pc
+
+    def _op_li(self, operands, counters, next_pc: int) -> int:
+        self.scalar_registers.write(operands[0], operands[1])
+        return next_pc
+
+    def _op_add(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        scalars.write(operands[0], scalars.read(operands[1]) + scalars.read(operands[2]))
+        return next_pc
+
+    def _op_addi(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        scalars.write(operands[0], scalars.read(operands[1]) + operands[2])
+        return next_pc
+
+    def _op_sub(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        scalars.write(operands[0], scalars.read(operands[1]) - scalars.read(operands[2]))
+        return next_pc
+
+    def _op_mul(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        scalars.write(operands[0], scalars.read(operands[1]) * scalars.read(operands[2]))
+        return next_pc
+
+    def _op_bne(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        if scalars.read(operands[0]) != scalars.read(operands[1]):
+            counters.branches_taken += 1
+            return operands[2]
+        return next_pc
+
+    def _op_blt(self, operands, counters, next_pc: int) -> int:
+        scalars = self.scalar_registers
+        if scalars.read(operands[0]) < scalars.read(operands[1]):
+            counters.branches_taken += 1
+            return operands[2]
+        return next_pc
+
+    def _op_jmp(self, operands, counters, next_pc: int) -> int:
+        counters.branches_taken += 1
+        return operands[0]
+
+    def _op_setprec(self, operands, counters, next_pc: int) -> int:
+        self.set_precision(operands[0])
+        return next_pc
+
+    def _op_vload(self, operands, counters, next_pc: int) -> int:
+        address = self.scalar_registers.read(operands[1]) + operands[2]
+        values = self.memory.read_vector(address, active_bits=self._memory_active_bits())
+        self.vector_registers.write(operands[0], values)
+        counters.vector_memory_reads += 1
+        return next_pc
+
+    def _op_vstore(self, operands, counters, next_pc: int) -> int:
+        address = self.scalar_registers.read(operands[1]) + operands[2]
+        self.memory.write_vector(
+            address, self.vector_registers.read(operands[0]),
+            active_bits=self._memory_active_bits(),
+        )
+        counters.vector_memory_writes += 1
+        return next_pc
+
+    def _op_vbcast(self, operands, counters, next_pc: int) -> int:
+        value = self.scalar_registers.read(operands[1])
+        self.vector_registers.write(
+            operands[0], np.full(self.simd_width, value, dtype=np.int64)
+        )
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vmac(self, operands, counters, next_pc: int) -> int:
+        vectors = self.vector_registers
+        products = self.vector_unit.multiply_accumulate(
+            vectors.read(operands[0]), vectors.read(operands[1])
+        )
+        vectors.accumulate(products)
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vmul(self, operands, counters, next_pc: int) -> int:
+        vectors = self.vector_registers
+        result = self.vector_unit.elementwise(
+            "mul", vectors.read(operands[1]), vectors.read(operands[2])
+        )
+        vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vadd(self, operands, counters, next_pc: int) -> int:
+        vectors = self.vector_registers
+        result = self.vector_unit.elementwise(
+            "add", vectors.read(operands[1]), vectors.read(operands[2])
+        )
+        vectors.write(operands[0], np.clip(result, *_element_range(self.word_bits)))
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vrelu(self, operands, counters, next_pc: int) -> int:
+        vectors = self.vector_registers
+        result = self.vector_unit.elementwise("relu", vectors.read(operands[1]))
+        vectors.write(operands[0], result)
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vclr(self, operands, counters, next_pc: int) -> int:
+        self.vector_registers.clear_accumulators()
+        counters.vector_alu_instructions += 1
+        return next_pc
+
+    def _op_vstacc(self, operands, counters, next_pc: int) -> int:
+        vectors = self.vector_registers
+        vectors.write(operands[0], vectors.saturate_accumulators())
+        counters.vector_alu_instructions += 1
         return next_pc
 
     # -- precision management --------------------------------------------------

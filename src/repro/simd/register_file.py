@@ -98,9 +98,19 @@ class VectorRegisterFile:
 
     def saturate_accumulators(self) -> np.ndarray:
         """Accumulators clamped to the element range (the VSTACC behaviour)."""
-        lo = -(1 << (self.element_bits - 1))
-        hi = (1 << (self.element_bits - 1)) - 1
-        return np.clip(self._accumulators, lo, hi).astype(np.int64)
+        return saturate_to_element_range(self._accumulators, self.element_bits)
+
+
+def saturate_to_element_range(values: np.ndarray, element_bits: int) -> np.ndarray:
+    """Clamp accumulator values to the signed element range (VSTACC semantics).
+
+    Single source of the saturation formula, shared by the per-cycle
+    interpreter (via :meth:`VectorRegisterFile.saturate_accumulators`) and the
+    trace engine's whole-loop VSTACC evaluation.
+    """
+    lo = -(1 << (element_bits - 1))
+    hi = (1 << (element_bits - 1)) - 1
+    return np.clip(values, lo, hi).astype(np.int64)
 
 
 def _wrap_array(values: np.ndarray, bits: int) -> np.ndarray:

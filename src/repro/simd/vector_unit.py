@@ -85,7 +85,13 @@ class VectorUnit:
     # -- packed-subword helpers ---------------------------------------------
 
     def unpack(self, packed: np.ndarray) -> np.ndarray:
-        """Unpack ``(lanes,)`` packed words into ``(lanes, N)`` signed subwords."""
+        """Unpack ``(..., lanes)`` packed words into ``(..., lanes, N)`` signed
+        subwords.
+
+        Accepts any leading batch dimensions: the per-cycle interpreter passes
+        ``(lanes,)`` vectors, the trace engine whole ``(iterations, lanes)``
+        traces; both decode through this single implementation.
+        """
         packed = np.asarray(packed, dtype=np.int64)
         mode = self._mode
         bits = mode.subword_bits
@@ -96,7 +102,7 @@ class VectorUnit:
             chunk = (unsigned >> (index * bits)) & mask
             chunk = np.where(chunk >= (1 << (bits - 1)), chunk - (1 << bits), chunk)
             lanes.append(chunk)
-        return np.stack(lanes, axis=1)
+        return np.stack(lanes, axis=-1)
 
     def pack(self, subwords: np.ndarray) -> np.ndarray:
         """Pack ``(lanes, N)`` signed subwords into ``(lanes,)`` words."""

@@ -311,7 +311,7 @@ class TestSimdBatchExecution:
     @given(
         simd_width=st.sampled_from([2, 8, 16]),
         sparsity=st.sampled_from([0.0, 0.5, 1.0]),
-        precision=st.sampled_from([16, 12]),
+        precision=st.sampled_from([16, 12, 8, 4]),
         seed=st.integers(min_value=0, max_value=2**31 - 1),
     )
     def test_batch_executor_matches_interpreter(self, simd_width, sparsity, precision, seed):
@@ -330,7 +330,10 @@ class TestSimdBatchExecution:
         outputs, result = run_convolution(vectorized, workload, batch=True)
 
         assert np.array_equal(outputs, expected_outputs)
-        assert np.array_equal(outputs, workload.reference_output())
+        if result.parallelism == 1:
+            # Packed modes reinterpret the preloaded words as N subwords, so
+            # only the single-subword modes match the numpy reference.
+            assert np.array_equal(outputs, workload.reference_output())
         assert asdict(result.counters) == asdict(expected.counters)
         assert (result.halted, result.precision_bits, result.parallelism) == (
             expected.halted,
@@ -340,16 +343,29 @@ class TestSimdBatchExecution:
         assert asdict(vectorized.vector_unit.counters) == asdict(interpreter.vector_unit.counters)
         assert asdict(vectorized.memory.counters) == asdict(interpreter.memory.counters)
 
-    def test_batch_executor_rejects_packed_modes(self):
-        from repro.simd import SimdProcessor, convolution_kernel, execute_convolution_batch
+    def test_batch_executor_covers_packed_modes(self):
+        """The trace engine handles subword-parallel modes the old closed-form
+        batch path rejected; counters stay bit-identical to the interpreter."""
+        from dataclasses import asdict
+
+        from repro.simd import SimdProcessor, convolution_kernel, run_convolution
 
         workload = convolution_kernel(4, input_length=16, taps=3)
-        processor = SimdProcessor(4)
-        processor.set_precision(8)  # 2 x 8b packed mode
-        with pytest.raises(ValueError):
-            execute_convolution_batch(processor, workload)
+        for precision in (8, 4):  # 2 x 8b and 4 x 4b packed modes
+            interpreter = SimdProcessor(4)
+            interpreter.set_precision(precision)
+            expected_outputs, expected = run_convolution(interpreter, workload, batch=False)
+            engine = SimdProcessor(4)
+            engine.set_precision(precision)
+            outputs, result = run_convolution(engine, workload, batch=True)
+            assert result.parallelism == 16 // precision
+            assert np.array_equal(outputs, expected_outputs)
+            assert asdict(result.counters) == asdict(expected.counters)
+            assert asdict(engine.vector_unit.counters) == asdict(interpreter.vector_unit.counters)
 
-    def test_batch_executor_rejects_modified_programs(self):
+    def test_batch_executor_accepts_modified_programs(self):
+        """Arbitrary programs run through the engine (vectorised or via the
+        interpreter fallback) instead of being rejected."""
         from dataclasses import replace
 
         from repro.simd import SimdProcessor, convolution_kernel, execute_convolution_batch
@@ -357,8 +373,9 @@ class TestSimdBatchExecution:
 
         workload = convolution_kernel(4, input_length=16, taps=3)
         tampered = replace(workload, program=assemble("    nop\n    halt\n"))
-        with pytest.raises(ValueError, match="does not match"):
-            execute_convolution_batch(SimdProcessor(4), tampered)
+        result = execute_convolution_batch(SimdProcessor(4), tampered)
+        assert result.halted
+        assert result.counters.instructions == 2
 
 
 class TestNetworkBatchForward:
@@ -403,3 +420,107 @@ class TestNetworkBatchForward:
         network = lenet5()
         empty = np.zeros((0,) + network.input_shape)
         assert network.forward_batch(empty, batch=True).shape == (0, 10)
+
+
+class TestTrainerVectorization:
+    """Vectorised trainer vs the per-sample reference loops."""
+
+    def _dataset(self):
+        from repro.nn import synthetic_digits
+
+        return synthetic_digits(train_samples=96, test_samples=24, size=16, seed=9)
+
+    def test_forward_batch_matches_per_sample(self):
+        from repro.nn import Trainer, lenet5
+
+        trainer = Trainer(lenet5(input_size=16, seed=3))
+        samples = self._dataset().train_images[:6]
+        batched, caches = trainer._forward_batch(samples)
+        assert len(caches) == len(trainer.network.layers)
+        for index, sample in enumerate(samples):
+            logits, _ = trainer._forward_sample(sample)
+            np.testing.assert_allclose(batched[index], logits, rtol=1e-12, atol=1e-12)
+
+    def test_training_trajectories_agree(self):
+        """Losses and learned weights of the two paths agree to float
+        tolerance (batch gradients are summed in a different order)."""
+        from repro.nn import Trainer, lenet5
+
+        dataset = self._dataset()
+        outcomes = {}
+        for vectorized in (False, True):
+            network = lenet5(input_size=16, seed=3)
+            trainer = Trainer(network, learning_rate=0.1, vectorized=vectorized)
+            history = trainer.fit(dataset, epochs=2, batch_size=16, seed=3)
+            outcomes[vectorized] = (history, network)
+        reference, reference_network = outcomes[False]
+        produced, produced_network = outcomes[True]
+        np.testing.assert_allclose(produced.epoch_losses, reference.epoch_losses, rtol=1e-8)
+        assert produced.epoch_accuracies == reference.epoch_accuracies
+        for ours, theirs in zip(
+            produced_network.weighted_layers(), reference_network.weighted_layers()
+        ):
+            np.testing.assert_allclose(ours.weights, theirs.weights, rtol=1e-6, atol=1e-9)
+            np.testing.assert_allclose(ours.bias, theirs.bias, rtol=1e-6, atol=1e-9)
+
+    def test_strided_padded_conv_backward(self):
+        """col2im via np.add.at must accumulate overlapping patches exactly
+        like the per-position reference loop (stride < kernel overlaps)."""
+        from repro.nn.layers import Conv2D
+        from repro.nn.training import (
+            _conv_backward,
+            _conv_backward_batch,
+            _conv_forward,
+            _conv_forward_batch,
+        )
+
+        layer = Conv2D(3, 5, 3, stride=1, padding=1, rng=np.random.default_rng(11))
+        rng = np.random.default_rng(12)
+        samples = rng.normal(size=(4, 3, 9, 9))
+        out_shape = layer.output_shape(samples.shape[1:])
+        upstream = rng.normal(size=(4,) + out_shape)
+
+        batched_out, columns, padded_shape = _conv_forward_batch(layer, samples)
+        entry_batch = {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)}
+        grad_batch = _conv_backward_batch(
+            layer, upstream, {"columns": columns, "padded_shape": padded_shape}, entry_batch
+        )
+
+        entry_ref = {"weights": np.zeros_like(layer.weights), "bias": np.zeros_like(layer.bias)}
+        grads_ref = []
+        for index in range(samples.shape[0]):
+            out, cols, pshape = _conv_forward(layer, samples[index])
+            np.testing.assert_allclose(batched_out[index], out, rtol=1e-12, atol=1e-12)
+            grads_ref.append(
+                _conv_backward(
+                    layer, upstream[index], {"columns": cols, "padded_shape": pshape}, entry_ref
+                )
+            )
+        np.testing.assert_allclose(grad_batch, np.stack(grads_ref), rtol=1e-9, atol=1e-12)
+        np.testing.assert_allclose(entry_batch["weights"], entry_ref["weights"], rtol=1e-9)
+        np.testing.assert_allclose(entry_batch["bias"], entry_ref["bias"], rtol=1e-9)
+
+    def test_pool_backward_fancy_indexing(self):
+        from repro.nn.layers import MaxPool2D
+        from repro.nn.training import (
+            _pool_backward,
+            _pool_backward_batch,
+            _pool_forward,
+            _pool_forward_batch,
+        )
+
+        layer = MaxPool2D(2)
+        rng = np.random.default_rng(21)
+        samples = rng.normal(size=(3, 4, 7, 9))  # odd sizes exercise trimming
+        outputs, argmax = _pool_forward_batch(layer, samples)
+        upstream = rng.normal(size=outputs.shape)
+        produced = _pool_backward_batch(
+            layer, upstream, {"input": samples, "argmax": argmax}
+        )
+        for index in range(samples.shape[0]):
+            out, arg = _pool_forward(layer, samples[index])
+            np.testing.assert_allclose(outputs[index], out)
+            reference = _pool_backward(
+                layer, upstream[index], {"input": samples[index], "argmax": arg}
+            )
+            np.testing.assert_allclose(produced[index], reference)

@@ -149,6 +149,38 @@ class TestConvolutionKernel:
             convolution_kernel(4, input_length=4, taps=8)
 
 
+class TestWordsProcessed:
+    def test_accounts_lanes_and_parallelism(self):
+        """words_processed = vector-ALU instructions x lanes x parallelism.
+
+        Regression test: the old implementation returned the raw vector-ALU
+        instruction count, ignoring both the SIMD width and the packed
+        subwords despite documenting "lanes x subwords x cycles".
+        """
+        source = "vclr\nvbcast v0, r0\nvstacc v1\nhalt\n"
+        processor = SimdProcessor(8)
+        result = processor.run(assemble(source))
+        assert result.counters.vector_alu_instructions == 3
+        assert result.lanes == 8
+        assert result.parallelism == 1
+        assert result.words_processed == 3 * 8
+
+        packed = SimdProcessor(8)
+        result = packed.run(assemble("setprec 4\n" + source))
+        assert result.parallelism == 4
+        assert result.words_processed == 3 * 8 * 4
+
+    def test_matches_power_model_word_accounting(self, simd_execution):
+        """The per-word energy denominator of the power model must agree with
+        the execution result's own word count at the executed mode."""
+        from repro.simd import SimdPowerModel
+
+        _, _, result = simd_execution
+        model = SimdPowerModel(8)
+        report = model.report(result, technique="DAS", precision=16)
+        assert report.words == result.words_processed
+
+
 class TestSimdPowerModel:
     def test_calibration_hits_reference_point(self, simd_execution):
         _, _, result = simd_execution
