@@ -28,9 +28,12 @@ Subpackages
     The Envision CNN-processor model of Section V.
 ``repro.experiments``
     One driver per table/figure of the paper's evaluation.
+``repro.runner``
+    Experiment orchestration: typed registry, content-addressed result
+    cache, process-parallel execution and the ``python -m repro`` CLI.
 """
 
-from . import analysis, arithmetic, circuit, core, envision, experiments, nn, simd
+from . import analysis, arithmetic, circuit, core, envision, experiments, nn, runner, simd
 from .arithmetic import BoothWallaceMultiplier, MacUnit, SubwordParallelMultiplier
 from .circuit import TECH_28NM_FDSOI, TECH_40NM_LP_LVT, Technology
 from .core import (
@@ -56,6 +59,7 @@ __all__ = [
     "envision",
     "experiments",
     "nn",
+    "runner",
     "simd",
     "BoothWallaceMultiplier",
     "MacUnit",

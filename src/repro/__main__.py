@@ -1,0 +1,6 @@
+"""``python -m repro`` -- unified entry point for the reproduction."""
+
+from .runner.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

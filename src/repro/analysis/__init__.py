@@ -10,8 +10,8 @@ from .metrics import (
     top1_agreement,
     tops_per_watt,
 )
-from .reporting import curve_to_rows, format_table, format_value, to_csv, write_csv
-from .sweep import SweepResult, parameter_sweep
+from .reporting import curve_to_rows, format_table, format_value, to_csv, to_json, write_csv
+from .sweep import SweepResult, parameter_sweep, sweep_grid
 
 __all__ = [
     "EfficiencyReport",
@@ -26,7 +26,9 @@ __all__ = [
     "format_table",
     "format_value",
     "to_csv",
+    "to_json",
     "write_csv",
     "SweepResult",
     "parameter_sweep",
+    "sweep_grid",
 ]

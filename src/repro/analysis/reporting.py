@@ -3,8 +3,10 @@
 Every experiment driver in :mod:`repro.experiments` produces its data as a
 list of dictionaries (one per table row or curve point); these helpers turn
 that into the aligned ASCII tables printed by the benchmark harness and into
-CSV files for further processing.  Keeping the formatting here means the
-experiment modules stay purely computational.
+CSV/JSON documents for further processing.  Keeping the formatting here means
+the experiment modules stay purely computational -- and because every helper
+takes plain row dictionaries, rows replayed from the result cache render
+through exactly the same code as freshly computed ones.
 """
 
 from __future__ import annotations
@@ -12,6 +14,8 @@ from __future__ import annotations
 import csv
 import io
 from typing import Iterable, Mapping, Sequence
+
+from .sweep import SweepResult
 
 
 def format_value(value: object, *, precision: int = 3) -> str:
@@ -89,6 +93,15 @@ def write_csv(path: str, rows: Sequence[Mapping[str, object]], *, columns: Seque
     """Write rows to ``path`` as CSV."""
     with open(path, "w", newline="") as handle:
         handle.write(to_csv(rows, columns=columns))
+
+
+def to_json(rows: Sequence[Mapping[str, object]], *, indent: int | None = None) -> str:
+    """Serialise rows as the same JSON document the result cache stores.
+
+    Round-trips bit-identically through ``json.loads(...)["records"]`` /
+    :meth:`repro.analysis.sweep.SweepResult.from_json`.
+    """
+    return SweepResult(records=[dict(row) for row in rows]).to_json(indent=indent)
 
 
 def curve_to_rows(

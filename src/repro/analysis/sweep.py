@@ -1,10 +1,41 @@
-"""Generic parameter-sweep helper used by the experiment drivers."""
+"""Generic parameter-sweep helper used by the experiment drivers.
+
+``parameter_sweep`` evaluates a callable over the Cartesian grid of its
+parameters.  Since PR 3 the grid can be fanned out over worker processes
+(``jobs=N``) through :mod:`repro.runner.executor`; the record order is the
+deterministic grid order in both cases, regardless of completion order.
+:class:`SweepResult` round-trips through JSON (``to_json``/``from_json``),
+which is what the content-addressed result cache stores on disk.
+"""
 
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
+
+
+def sanitize_value(value: object) -> object:
+    """Coerce one cell to a JSON-serialisable python scalar.
+
+    Numpy scalars are unwrapped via ``.item()`` (no numpy import needed);
+    tuples become lists, matching what a JSON round-trip would produce, so
+    sanitised records compare equal to reloaded ones.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [sanitize_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): sanitize_value(item) for key, item in value.items()}
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):  # numpy scalar -> python scalar; ndarray -> (nested) list
+        return sanitize_value(tolist())
+    for base in (bool, int, float, str):  # builtin subclass without numpy protocol
+        if isinstance(value, base):
+            return base(value)
+    raise TypeError(f"cannot serialise sweep value of type {type(value).__name__}: {value!r}")
 
 
 @dataclass
@@ -26,6 +57,27 @@ class SweepResult:
         """Values of one column across all records."""
         return [record[name] for record in self.records]
 
+    def to_jsonable(self) -> list[dict[str, object]]:
+        """Records with every value coerced to a JSON-serialisable scalar."""
+        return [
+            {str(key): sanitize_value(value) for key, value in record.items()}
+            for record in self.records
+        ]
+
+    @classmethod
+    def from_jsonable(cls, records: Iterable[Mapping[str, object]]) -> "SweepResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        return cls(records=[dict(record) for record in records])
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Serialise as a JSON document (used by the result cache on disk)."""
+        return json.dumps({"records": self.to_jsonable()}, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        """Inverse of :meth:`to_json`; bit-identical records guaranteed."""
+        return cls.from_jsonable(json.loads(text)["records"])
+
     def __len__(self) -> int:
         return len(self.records)
 
@@ -33,20 +85,35 @@ class SweepResult:
         return iter(self.records)
 
 
+def sweep_grid(parameters: Mapping[str, Iterable[object]]) -> list[dict[str, object]]:
+    """The Cartesian parameter grid, in deterministic row-major order."""
+    names = list(parameters)
+    return [
+        dict(zip(names, combination))
+        for combination in itertools.product(*(parameters[name] for name in names))
+    ]
+
+
 def parameter_sweep(
     parameters: Mapping[str, Iterable[object]],
     evaluate: Callable[..., Mapping[str, object]],
+    *,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Evaluate ``evaluate(**combination)`` over the Cartesian parameter grid.
 
     Each record contains the swept parameters plus whatever the evaluation
-    returns; evaluation outputs win on key collisions.
+    returns; evaluation outputs win on key collisions.  With ``jobs`` > 1 the
+    grid is fanned out over a process pool (``evaluate`` must then be a
+    picklable module-level callable); the records come back in grid order
+    either way.
     """
-    names = list(parameters)
+    if jobs is not None and jobs > 1:
+        from ..runner.executor import parallel_sweep  # local import: avoids a cycle
+
+        return parallel_sweep(parameters, evaluate, jobs=jobs)
     result = SweepResult()
-    for combination in itertools.product(*(parameters[name] for name in names)):
-        assignment = dict(zip(names, combination))
+    for assignment in sweep_grid(parameters):
         outcome = dict(evaluate(**assignment))
-        record = {**assignment, **outcome}
-        result.records.append(record)
+        result.records.append({**assignment, **outcome})
     return result

@@ -14,8 +14,13 @@ module        reproduces
 ``table3``    Table III-- per-layer power/efficiency of VGG16/AlexNet/LeNet
 ============  ===========================================================
 
-Each module exposes ``run(**kwargs) -> list[dict]`` returning the raw rows
-and ``report(**kwargs) -> str`` returning the formatted table.
+Each module exposes ``run(**kwargs) -> list[dict]`` returning the raw rows,
+``render(rows) -> str`` formatting rows from a live run or the result cache
+alike, and ``report(**kwargs) -> str`` (= ``render(run(**kwargs))``).  The
+cacheable parameters are declared in each module's ``PARAMS`` mapping
+(name -> default) -- the schema consumed by :mod:`repro.runner.registry`;
+object-valued injection parameters are listed in ``OBJECT_PARAMS`` and
+bypass the cache.  ``python -m repro`` is the unified entry point.
 """
 
 from . import fig2, fig3, fig4, fig6, fig8, table1, table2, table3

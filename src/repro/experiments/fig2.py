@@ -13,6 +13,11 @@ from __future__ import annotations
 from ..analysis.reporting import format_table
 from ..core.scaling import MultiplierCharacterization, characterize_multiplier
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {"samples": 300, "seed": 2017}
+#: Object-valued run() parameters; passing one bypasses the result cache.
+OBJECT_PARAMS = ("characterization",)
+
 
 def run(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
@@ -39,13 +44,20 @@ def run(
     return rows
 
 
-def report(**kwargs) -> str:
-    """Formatted Fig. 2 reproduction."""
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Fig. 2 reproduction."""
     return format_table(
-        run(**kwargs),
+        rows,
         title="Fig. 2: multiplier frequency / slack / voltage / activity vs precision",
     )
 
 
-if __name__ == "__main__":
-    print(report())
+def report(**kwargs) -> str:
+    """Formatted Fig. 2 reproduction."""
+    return render(run(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "fig2"]))

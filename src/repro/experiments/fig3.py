@@ -21,6 +21,12 @@ from ..core.scaling import (
 )
 
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {"samples": 300, "rmse_samples": 1500, "seed": 2017}
+#: Object-valued run() parameters; passing one bypasses the result cache.
+OBJECT_PARAMS = ("characterization",)
+
+
 def run_fig3a(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
 ) -> list[dict[str, object]]:
@@ -104,13 +110,43 @@ def dvafs_dominance(rows: list[dict[str, object]]) -> float:
     return dvafs_on_front / len(front)
 
 
-def report(**kwargs) -> str:
-    """Formatted Fig. 3a and Fig. 3b reproduction."""
-    text = format_table(run_fig3a(**kwargs), title="Fig. 3a: multiplier energy per word vs precision")
+def run(
+    *,
+    samples: int = 300,
+    rmse_samples: int = 1500,
+    seed: int = 2017,
+    characterization: MultiplierCharacterization | None = None,
+) -> list[dict[str, object]]:
+    """Both panels' rows, tagged with a ``panel`` column (the Fig. 3 data)."""
+    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    rows_a = run_fig3a(samples=samples, seed=seed, characterization=characterization)
+    rows_b = run_fig3b(
+        samples=samples, rmse_samples=rmse_samples, seed=seed, characterization=characterization
+    )
+    return [{"panel": "3a", **row} for row in rows_a] + [{"panel": "3b", **row} for row in rows_b]
+
+
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the two Fig. 3 panels."""
+    def panel(tag: str) -> list[dict[str, object]]:
+        return [
+            {key: value for key, value in row.items() if key != "panel"}
+            for row in rows
+            if row.get("panel") == tag
+        ]
+
+    text = format_table(panel("3a"), title="Fig. 3a: multiplier energy per word vs precision")
     text += "\n"
-    text += format_table(run_fig3b(**kwargs), title="Fig. 3b: relative energy vs RMSE (DVAFS vs baselines)")
+    text += format_table(panel("3b"), title="Fig. 3b: relative energy vs RMSE (DVAFS vs baselines)")
     return text
 
 
-if __name__ == "__main__":
-    print(report())
+def report(**kwargs) -> str:
+    """Formatted Fig. 3a and Fig. 3b reproduction."""
+    return render(run(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "fig3"]))

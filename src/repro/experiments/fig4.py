@@ -15,6 +15,16 @@ import numpy as np
 from ..analysis.reporting import format_table
 from ..simd import SimdPowerModel, SimdProcessor, convolution_kernel, run_convolution
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {
+    "simd_widths": (8, 64),
+    "precisions": (16, 12, 8, 4),
+    "input_length": 48,
+    "taps": 9,
+    "seed": 2017,
+    "batch": True,
+}
+
 
 def run(
     *,
@@ -56,12 +66,19 @@ def run(
     return rows
 
 
-def report(**kwargs) -> str:
-    """Formatted Fig. 4 reproduction."""
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Fig. 4 reproduction."""
     return format_table(
-        run(**kwargs), title="Fig. 4: SIMD processor energy per word vs precision (constant throughput)"
+        rows, title="Fig. 4: SIMD processor energy per word vs precision (constant throughput)"
     )
 
 
-if __name__ == "__main__":
-    print(report())
+def report(**kwargs) -> str:
+    """Formatted Fig. 4 reproduction."""
+    return render(run(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "fig4"]))

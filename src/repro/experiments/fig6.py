@@ -23,6 +23,19 @@ from ..nn import (
     synthetic_natural_images,
 )
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+#: ``evaluation_samples`` feeds the LeNet search; ``input_size`` the AlexNet
+#: stand-in (see the per-network helpers for their individual defaults).
+PARAMS = {
+    "train_samples": 400,
+    "test_samples": 100,
+    "image_size": 16,
+    "epochs": 6,
+    "evaluation_samples": 40,
+    "input_size": 67,
+    "seed": 2017,
+}
+
 
 def run_lenet(
     *,
@@ -87,21 +100,35 @@ def run_alexnet(
     return rows
 
 
+#: run() keyword routing: which declared parameters feed which network.
+_LENET_PARAMS = ("train_samples", "test_samples", "image_size", "epochs", "evaluation_samples", "seed")
+_ALEXNET_PARAMS = ("input_size", "seed")
+
+
 def run(**kwargs) -> list[dict[str, object]]:
     """Both networks' per-layer precision profiles (the Fig. 6 data)."""
-    lenet_kwargs = {k: v for k, v in kwargs.items() if k in (
-        "train_samples", "test_samples", "image_size", "epochs", "evaluation_samples", "seed")}
-    alexnet_kwargs = {k: v for k, v in kwargs.items() if k in ("input_size", "seed")}
+    unknown = set(kwargs) - set(_LENET_PARAMS) - set(_ALEXNET_PARAMS)
+    if unknown:
+        raise TypeError(f"fig6.run() got unexpected keyword argument(s) {sorted(unknown)}")
+    lenet_kwargs = {k: v for k, v in kwargs.items() if k in _LENET_PARAMS}
+    alexnet_kwargs = {k: v for k, v in kwargs.items() if k in _ALEXNET_PARAMS}
     return run_lenet(**lenet_kwargs) + run_alexnet(**alexnet_kwargs)
 
 
-def report(**kwargs) -> str:
-    """Formatted Fig. 6 reproduction."""
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Fig. 6 reproduction."""
     return format_table(
-        run(**kwargs),
+        rows,
         title="Fig. 6: minimum per-layer precision at 99% relative accuracy",
     )
 
 
-if __name__ == "__main__":
-    print(report())
+def report(**kwargs) -> str:
+    """Formatted Fig. 6 reproduction."""
+    return render(run(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "fig6"]))

@@ -15,6 +15,12 @@ from __future__ import annotations
 from ..analysis.reporting import format_table
 from ..envision import EnvisionChip
 
+#: Cacheable run() parameters (name -> default); the chip model is the only
+#: input and is an object parameter, so the default config has no knobs.
+PARAMS: dict[str, object] = {}
+#: Object-valued run() parameters; passing one bypasses the result cache.
+OBJECT_PARAMS = ("chip",)
+
 
 def run(*, chip: EnvisionChip | None = None) -> list[dict[str, object]]:
     """Records for both Fig. 8a (constant f) and Fig. 8b (constant throughput)."""
@@ -43,9 +49,8 @@ def headline_gains(rows: list[dict[str, object]]) -> dict[str, float]:
     }
 
 
-def report(**kwargs) -> str:
-    """Formatted Fig. 8 reproduction."""
-    rows = run(**kwargs)
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Fig. 8 reproduction + headline gains."""
     text = format_table(rows, title="Fig. 8: Envision energy per word vs precision")
     gains = headline_gains(rows)
     text += (
@@ -55,5 +60,12 @@ def report(**kwargs) -> str:
     return text
 
 
-if __name__ == "__main__":
-    print(report())
+def report(**kwargs) -> str:
+    """Formatted Fig. 8 reproduction."""
+    return render(run(**kwargs))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "fig8"]))

@@ -11,6 +11,11 @@ from ..analysis.reporting import format_table
 from ..core.power_model import PAPER_TABLE_I
 from ..core.scaling import MultiplierCharacterization, characterize_multiplier
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {"samples": 300, "seed": 2017}
+#: Object-valued run() parameters; passing one bypasses the result cache.
+OBJECT_PARAMS = ("characterization",)
+
 
 def run(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
@@ -41,10 +46,17 @@ def run(
     return rows
 
 
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Table I reproduction."""
+    return format_table(rows, title="Table I: D(V)A(F)S multiplier scaling parameters")
+
+
 def report(**kwargs) -> str:
     """Formatted Table I reproduction."""
-    return format_table(run(**kwargs), title="Table I: D(V)A(F)S multiplier scaling parameters")
+    return render(run(**kwargs))
 
 
-if __name__ == "__main__":
-    print(report())
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "table1"]))

@@ -28,6 +28,15 @@ PAPER_TABLE_II_POWER = {
     (64, "4x4b"): 45.0,
 }
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {
+    "simd_widths": (8, 64),
+    "input_length": 48,
+    "taps": 9,
+    "seed": 2017,
+    "batch": True,
+}
+
 #: Modes of Table II as (technique, precision) pairs, in row order.
 TABLE_II_MODES = [
     ("DAS", 16),
@@ -76,10 +85,17 @@ def run(
     return rows
 
 
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Table II reproduction."""
+    return format_table(rows, title="Table II: SIMD processor power distribution")
+
+
 def report(**kwargs) -> str:
     """Formatted Table II reproduction."""
-    return format_table(run(**kwargs), title="Table II: SIMD processor power distribution")
+    return render(run(**kwargs))
 
 
-if __name__ == "__main__":
-    print(report())
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "table2"]))

@@ -16,6 +16,9 @@ from ..analysis.reporting import format_table
 from ..envision import EnvisionScheduler, LayerWorkload, PAPER_TABLE_III_WORKLOADS
 from ..nn import alexnet, lenet5, measure_sparsity, prune_network, synthetic_natural_images, vgg16
 
+#: Cacheable run() parameters (name -> default); the runner registry's schema.
+PARAMS = {"from_substrate": False, "seed": 2017, "batch": True}
+
 #: Published per-layer power (mW) and efficiency (TOPS/W) for comparison.
 PAPER_TABLE_III_RESULTS = {
     "VGG1": (25.0, 2.1),
@@ -138,10 +141,17 @@ def run(
     return rows
 
 
+def render(rows: list[dict[str, object]]) -> str:
+    """Format rows (live or cached) as the Table III reproduction."""
+    return format_table(rows, title="Table III: CNN benchmarks on Envision")
+
+
 def report(**kwargs) -> str:
     """Formatted Table III reproduction."""
-    return format_table(run(**kwargs), title="Table III: CNN benchmarks on Envision")
+    return render(run(**kwargs))
 
 
-if __name__ == "__main__":
-    print(report())
+if __name__ == "__main__":  # pragma: no cover - thin shim over the unified CLI
+    from ..runner.cli import main
+
+    raise SystemExit(main(["report", "table3"]))

@@ -1,0 +1,38 @@
+"""Experiment orchestration: registry, result cache, parallel execution, CLI.
+
+The runner unifies how the reproduction executes (PR 3):
+
+* :mod:`repro.runner.registry` -- typed experiment specs with deterministic
+  config canonicalization over ``repro.experiments.EXPERIMENTS``;
+* :mod:`repro.runner.fingerprint` -- static import-closure code fingerprints;
+* :mod:`repro.runner.cache` -- the content-addressed on-disk result cache
+  (key = experiment + canonical params + code fingerprint);
+* :mod:`repro.runner.executor` -- process-parallel sweep/experiment fan-out
+  with deterministic record ordering;
+* :mod:`repro.runner.service` -- the cache-aware :class:`ExperimentRunner`;
+* :mod:`repro.runner.cli` -- the ``python -m repro`` entry point.
+"""
+
+from .cache import CacheEntry, ResultCache, cache_key, default_cache_root
+from .cli import main
+from .executor import execute_requests, parallel_sweep
+from .fingerprint import code_fingerprint, module_closure
+from .registry import ExperimentSpec, ParamSpec, build_registry
+from .service import ExperimentRunner, RunReport
+
+__all__ = [
+    "CacheEntry",
+    "ResultCache",
+    "cache_key",
+    "default_cache_root",
+    "main",
+    "execute_requests",
+    "parallel_sweep",
+    "code_fingerprint",
+    "module_closure",
+    "ExperimentSpec",
+    "ParamSpec",
+    "build_registry",
+    "ExperimentRunner",
+    "RunReport",
+]

@@ -1,0 +1,212 @@
+"""Content-addressed on-disk result cache for experiment runs.
+
+Every entry is one JSON file under ``<root>/<experiment>/<key>.json`` where
+the key is ``sha256(experiment name + canonical params + code fingerprint)``.
+The payload carries the rows (serialised through
+:meth:`repro.analysis.sweep.SweepResult.to_jsonable`, so replay is
+bit-identical to a sanitised live run) plus provenance metadata: the exact
+config, the fingerprint, interpreter/numpy/package versions and a creation
+timestamp.  Writes go through a temp file + ``os.replace`` so concurrent
+runners never observe a torn entry.
+
+The cache root defaults to ``$REPRO_CACHE_DIR`` when set, else
+``~/.cache/dvafs-repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from ..analysis.sweep import SweepResult
+
+#: Bumped when the on-disk entry layout changes; part of every cache key.
+SCHEMA_VERSION = 1
+
+
+def default_cache_root() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/dvafs-repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "dvafs-repro"
+
+
+def cache_key(experiment: str, canonical_params_json: str, fingerprint: str) -> str:
+    """Content address of one run: experiment + canonical params + code."""
+    blob = json.dumps(
+        {
+            "schema": SCHEMA_VERSION,
+            "experiment": experiment,
+            "params": canonical_params_json,
+            "fingerprint": fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached run: rows plus the provenance needed to trust/replay them."""
+
+    experiment: str
+    params: dict[str, object]
+    fingerprint: str
+    result: SweepResult
+    elapsed_seconds: float
+    provenance: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def rows(self) -> list[dict[str, object]]:
+        return self.result.records
+
+    def to_document(self) -> dict[str, object]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "experiment": self.experiment,
+            "params": self.params,
+            "fingerprint": self.fingerprint,
+            "elapsed_seconds": self.elapsed_seconds,
+            "provenance": self.provenance,
+            "result": {"records": self.result.to_jsonable()},
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "CacheEntry":
+        return cls(
+            experiment=str(document["experiment"]),
+            params=dict(document["params"]),
+            fingerprint=str(document["fingerprint"]),
+            result=SweepResult.from_jsonable(document["result"]["records"]),
+            elapsed_seconds=float(document["elapsed_seconds"]),
+            provenance=dict(document.get("provenance", {})),
+        )
+
+
+def run_provenance() -> dict[str, object]:
+    """Environment metadata recorded next to every cached result."""
+    import numpy
+
+    from .. import __version__
+
+    return {
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "repro": __version__,
+    }
+
+
+class ResultCache:
+    """Content-addressed store of experiment results under one root directory."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_cache_root()
+
+    @staticmethod
+    def _check_experiment_name(experiment: str) -> str:
+        """Experiment names are single path components -- never traversal."""
+        if Path(experiment).name != experiment or experiment in ("", ".", ".."):
+            raise ValueError(f"invalid experiment name {experiment!r}")
+        return experiment
+
+    def _path(self, experiment: str, key: str) -> Path:
+        return self.root / self._check_experiment_name(experiment) / f"{key}.json"
+
+    def get(self, experiment: str, key: str) -> CacheEntry | None:
+        """The stored entry, or ``None`` on miss/corruption (corrupt = miss)."""
+        path = self._path(experiment, key)
+        try:
+            document = json.loads(path.read_text())
+        except (OSError, ValueError):  # unreadable, non-UTF-8 or invalid JSON
+            return None
+        if not isinstance(document, dict) or document.get("schema") != SCHEMA_VERSION:
+            return None
+        try:
+            return CacheEntry.from_document(document)
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return None
+
+    def put(self, key: str, entry: CacheEntry) -> Path:
+        """Atomically persist one entry; returns its path."""
+        path = self._path(entry.experiment, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = json.dumps(entry.to_document(), indent=1)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(document)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self, experiment: str | None = None) -> Iterator[tuple[str, Path]]:
+        """(key, path) pairs of stored entries, sorted for stable listings."""
+        if experiment is not None:
+            self._check_experiment_name(experiment)
+        if not self.root.is_dir():
+            return
+        directories = (
+            [self.root / experiment]
+            if experiment is not None
+            else sorted(child for child in self.root.iterdir() if child.is_dir())
+        )
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.json")):
+                yield path.stem, path
+
+    def ls(self, experiment: str | None = None) -> list[dict[str, object]]:
+        """Metadata summary of stored entries (no row payloads)."""
+        listing = []
+        for key, path in self.entries(experiment):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, ValueError):
+                document = {}
+            if not isinstance(document, dict):
+                document = {}
+            result = document.get("result")
+            records = result.get("records", []) if isinstance(result, dict) else []
+            provenance = document.get("provenance")
+            if not isinstance(provenance, dict):
+                provenance = {}
+            listing.append(
+                {
+                    "experiment": document.get("experiment", path.parent.name),
+                    "key": key,
+                    "rows": len(records) if isinstance(records, list) else 0,
+                    "elapsed_seconds": document.get("elapsed_seconds"),
+                    "created_unix": provenance.get("created_unix"),
+                    "size_bytes": path.stat().st_size if path.is_file() else 0,
+                }
+            )
+        return listing
+
+    def clear(self, experiment: str | None = None) -> int:
+        """Delete stored entries (optionally of one experiment); returns count."""
+        removed = 0
+        for _key, path in list(self.entries(experiment)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return removed

@@ -1,0 +1,310 @@
+"""``python -m repro`` -- the unified reproduction command line.
+
+Subcommands
+-----------
+``run``     execute experiments (cache-aware, ``--jobs N`` fans cold runs
+            out over processes); export rows as JSON/CSV, write a timing
+            summary with ``--timing-json``
+``report``  print the driver-formatted tables (from cache when warm)
+``sweep``   Cartesian grid over one experiment's parameters, each cell a
+            cache-aware run; rows are tagged with their grid coordinates
+``cache``   ``ls`` / ``clear`` the content-addressed result cache
+``list``    show registered experiments and their parameter schemas
+
+This replaces the per-driver ``if __name__ == "__main__"`` entry points;
+``python -m repro.experiments.fig4`` still works and routes here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from ..analysis.reporting import format_table, to_csv
+from ..analysis.sweep import SweepResult, sweep_grid
+from .cache import ResultCache, default_cache_root
+from .registry import ExperimentSpec
+from .service import ExperimentRunner, RunReport
+
+
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or ~/.cache/dvafs-repro)",
+    )
+
+
+def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["all"],
+        metavar="EXPERIMENT",
+        help="experiment names, or 'all' (default)",
+    )
+    parser.add_argument("--jobs", type=int, default=1, metavar="N", help="worker processes for cold runs")
+    parser.add_argument("--no-cache", action="store_true", help="always recompute; do not read or write the cache")
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="parameter override (repeatable; single experiment target only)",
+    )
+    _add_cache_arguments(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures through the cached experiment runner.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute experiments and export their rows")
+    _add_run_arguments(run_parser)
+    output_format = run_parser.add_mutually_exclusive_group()
+    output_format.add_argument("--json", action="store_true", help="emit rows as JSON")
+    output_format.add_argument("--csv", action="store_true", help="emit rows as CSV")
+    run_parser.add_argument("--out", metavar="DIR", default=None, help="write one rows file per experiment into DIR")
+    run_parser.add_argument(
+        "--timing-json", metavar="PATH", default=None, help="write per-experiment timing/cache summary JSON"
+    )
+
+    report_parser = subparsers.add_parser("report", help="print the formatted tables")
+    _add_run_arguments(report_parser)
+
+    sweep_parser = subparsers.add_parser("sweep", help="grid-sweep one experiment's parameters")
+    sweep_parser.add_argument("experiment", metavar="EXPERIMENT")
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        required=True,
+        metavar="KEY=V1,V2,...",
+        help="swept parameter values (repeatable; grid = Cartesian product)",
+    )
+    sweep_parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE", help="fixed override")
+    sweep_parser.add_argument("--jobs", type=int, default=1, metavar="N")
+    sweep_parser.add_argument("--no-cache", action="store_true")
+    sweep_format = sweep_parser.add_mutually_exclusive_group()
+    sweep_format.add_argument("--json", action="store_true")
+    sweep_format.add_argument("--csv", action="store_true")
+    sweep_parser.add_argument("--out", metavar="PATH", default=None, help="write sweep records to PATH")
+    _add_cache_arguments(sweep_parser)
+
+    cache_parser = subparsers.add_parser("cache", help="inspect/clear the result cache")
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_subparsers.add_parser("ls", help="list cached entries")
+    _add_cache_arguments(cache_ls)
+    cache_clear = cache_subparsers.add_parser("clear", help="delete cached entries")
+    cache_clear.add_argument("--experiment", default=None, metavar="EXPERIMENT", help="only this experiment's entries")
+    _add_cache_arguments(cache_clear)
+
+    subparsers.add_parser("list", help="list experiments and their parameters")
+    return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    cache_dir = getattr(args, "cache_dir", None)
+    cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    return ExperimentRunner(cache=cache, use_cache=not getattr(args, "no_cache", False))
+
+
+def _resolve_targets(runner: ExperimentRunner, targets: list[str]) -> list[str]:
+    if targets == ["all"] or targets == []:
+        return list(runner.registry)
+    for name in targets:
+        try:
+            runner.spec(name)
+        except KeyError as error:
+            raise SystemExit(f"error: {error.args[0]}")
+    return targets
+
+
+def _parse_pairs(pairs: list[str], *, what: str) -> dict[str, str]:
+    parsed: dict[str, str] = {}
+    for pair in pairs:
+        key, separator, value = pair.partition("=")
+        if not separator or not key:
+            raise SystemExit(f"error: {what} {pair!r} is not KEY=VALUE")
+        parsed[key] = value
+    return parsed
+
+
+def _parse_typed_value(spec: ExperimentSpec, key: str, text: str) -> object:
+    """One CLI value parsed against the experiment's schema; clean exit on misuse."""
+    if key not in spec.params:
+        known = ", ".join(sorted(spec.params)) or "(none)"
+        raise SystemExit(f"error: {spec.name} has no parameter {key!r}; known: {known}")
+    try:
+        return spec.params[key].parse(text)
+    except ValueError as error:
+        raise SystemExit(f"error: parameter {key!r}: {error}")
+
+
+def _typed_overrides(spec: ExperimentSpec, pairs: list[str]) -> dict[str, object]:
+    return {
+        key: _parse_typed_value(spec, key, text)
+        for key, text in _parse_pairs(pairs, what="--param").items()
+    }
+
+
+def _collect_reports(runner: ExperimentRunner, args: argparse.Namespace) -> list[RunReport]:
+    targets = _resolve_targets(runner, args.targets)
+    if args.param and len(targets) != 1:
+        raise SystemExit("error: --param requires exactly one experiment target")
+    if getattr(args, "csv", False) and not args.out and len(targets) != 1:
+        raise SystemExit("error: --csv to stdout requires exactly one experiment (or use --out DIR)")
+    overrides = _typed_overrides(runner.spec(targets[0]), args.param) if args.param else {}
+    return runner.run_many([(name, dict(overrides)) for name in targets], jobs=args.jobs)
+
+
+def _write_timing_json(path: str, reports: list[RunReport], *, jobs: int, total_seconds: float) -> None:
+    summary = {
+        "total_seconds": round(total_seconds, 4),
+        "jobs": jobs,
+        "experiments": {
+            report.name: {
+                "elapsed_seconds": round(report.elapsed_seconds, 4),
+                "compute_seconds": round(report.compute_seconds, 4),
+                "cached": report.cached,
+                "rows": len(report.rows),
+                "key": report.key,
+                "fingerprint": report.fingerprint,
+            }
+            for report in reports
+        },
+    }
+    Path(path).parent.mkdir(parents=True, exist_ok=True)
+    Path(path).write_text(json.dumps(summary, indent=1))
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    start = time.perf_counter()
+    reports = _collect_reports(runner, args)
+    total_seconds = time.perf_counter() - start
+    if args.timing_json:
+        _write_timing_json(args.timing_json, reports, jobs=args.jobs, total_seconds=total_seconds)
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        extension = "csv" if args.csv else "json"
+        for report in reports:
+            payload = to_csv(report.rows) if args.csv else report.result.to_json(indent=1)
+            (out_dir / f"{report.name}.{extension}").write_text(payload)
+    elif args.json:
+        print(json.dumps({report.name: report.result.to_jsonable() for report in reports}, indent=1))
+    elif args.csv:
+        sys.stdout.write(to_csv(reports[0].rows))  # single target enforced up front
+    summary_rows = [
+        {
+            "experiment": report.name,
+            "rows": len(report.rows),
+            "cached": report.cached,
+            "elapsed_s": round(report.elapsed_seconds, 3),
+            "key": (report.key or "-")[:12],
+        }
+        for report in reports
+    ]
+    summary_title = f"run summary ({total_seconds:.2f}s wall, jobs={args.jobs})"
+    print(format_table(summary_rows, title=summary_title), file=sys.stderr)
+    return 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    reports = _collect_reports(runner, args)
+    print("\n".join(runner.render(report) for report in reports))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    spec = runner.spec(args.experiment)
+    grid: dict[str, list[object]] = {}
+    for key, text in _parse_pairs(args.grid, what="--grid").items():
+        if key in spec.params and spec.params[key].type is tuple:
+            raise SystemExit(f"error: tuple-typed parameter {key!r} cannot be grid-swept from the CLI")
+        values = [
+            _parse_typed_value(spec, key, part) for part in text.split(",") if part.strip()
+        ]
+        if not values:
+            raise SystemExit(f"error: --grid {key}= names no values")
+        grid[key] = values
+    fixed = _typed_overrides(spec, args.param)
+    overlap = set(grid) & set(fixed)
+    if overlap:
+        raise SystemExit(f"error: {sorted(overlap)} appear in both --grid and --param")
+    assignments = sweep_grid(grid)
+    reports = runner.run_many(
+        [(spec.name, {**fixed, **assignment}) for assignment in assignments], jobs=args.jobs
+    )
+    records = [
+        {**assignment, **row}
+        for assignment, report in zip(assignments, reports)
+        for row in report.rows
+    ]
+    result = SweepResult(records=records)
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(to_csv(records) if args.csv else result.to_json(indent=1))
+    elif args.csv:
+        sys.stdout.write(to_csv(records))
+    elif args.json:
+        print(result.to_json(indent=1))
+    else:
+        print(format_table(records, title=f"sweep {spec.name}: {' x '.join(grid)}"))
+    cached = sum(1 for report in reports if report.cached)
+    print(f"{len(assignments)} grid cells ({cached} cached), {len(records)} records", file=sys.stderr)
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    if args.cache_command == "ls":
+        listing = cache.ls()
+        if not listing:
+            print(f"(cache empty at {cache.root})")
+            return 0
+        print(format_table(listing, title=f"result cache at {cache.root}"))
+        return 0
+    try:
+        removed = cache.clear(args.experiment)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}")
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+def _command_list(_args: argparse.Namespace) -> int:
+    runner = ExperimentRunner(use_cache=False)
+    rows = []
+    for name, spec in runner.registry.items():
+        parameters = ", ".join(
+            f"{pname}={spec.params[pname].default!r}" for pname in sorted(spec.params)
+        )
+        rows.append({"experiment": name, "parameters": parameters or "(none)"})
+    print(format_table(rows, title=f"registered experiments (cache root: {default_cache_root()})"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _command_run,
+        "report": _command_report,
+        "sweep": _command_sweep,
+        "cache": _command_cache,
+        "list": _command_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

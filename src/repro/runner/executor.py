@@ -1,0 +1,89 @@
+"""Process-parallel execution: sweep grids and experiment fan-out.
+
+Two fan-out shapes live here:
+
+* :func:`parallel_sweep` -- the engine behind
+  ``repro.analysis.parameter_sweep(jobs=N)``: the Cartesian grid is mapped
+  over a ``ProcessPoolExecutor`` and the records are assembled **in grid
+  order**, so the output is byte-identical to a serial sweep regardless of
+  worker completion order.  Determinism inside each evaluation is the
+  caller's contract (seeds travel in the parameters).
+
+* :func:`execute_requests` -- runs ``(experiment, canonical config)``
+  requests, one worker process each, used by the runner service and the CLI
+  for ``--jobs N``.  Workers re-import the driver modules (fork or spawn both
+  work) and return sanitised rows plus the measured wall time.
+
+Callables shipped to workers must be picklable, i.e. module-level.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Mapping
+
+from ..analysis.sweep import SweepResult, sweep_grid
+
+
+def _evaluate_combination(
+    task: tuple[Callable[..., Mapping[str, object]], dict[str, object]],
+) -> dict[str, object]:
+    evaluate, assignment = task
+    return dict(evaluate(**assignment))
+
+
+def parallel_sweep(
+    parameters: Mapping[str, Iterable[object]],
+    evaluate: Callable[..., Mapping[str, object]],
+    *,
+    jobs: int | None = None,
+) -> SweepResult:
+    """Cartesian sweep with the grid fanned out over worker processes.
+
+    ``jobs`` of ``None``/``0``/``1`` runs serially in-process (identical to
+    the classic ``parameter_sweep`` loop); records always come back in
+    deterministic grid order.
+    """
+    assignments = sweep_grid(parameters)
+    tasks = [(evaluate, assignment) for assignment in assignments]
+    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+        outcomes = [_evaluate_combination(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            outcomes = list(pool.map(_evaluate_combination, tasks))
+    records = [
+        {**assignment, **outcome} for assignment, outcome in zip(assignments, outcomes)
+    ]
+    return SweepResult(records=records)
+
+
+def _execute_request(
+    task: tuple[str, dict[str, object]],
+) -> tuple[list[dict[str, object]], float]:
+    """Worker body: run one experiment with a canonical config.
+
+    Imports happen here (inside the worker) so spawned processes build their
+    own module state; rows are sanitised before crossing the process
+    boundary so the parent sees exactly what the cache would store.
+    """
+    from .registry import build_registry
+
+    name, config = task
+    spec = build_registry()[name]
+    start = time.perf_counter()
+    rows = spec.execute(config)
+    elapsed = time.perf_counter() - start
+    return SweepResult(records=rows).to_jsonable(), elapsed
+
+
+def execute_requests(
+    requests: list[tuple[str, dict[str, object]]],
+    *,
+    jobs: int | None = None,
+) -> list[tuple[list[dict[str, object]], float]]:
+    """Run experiment requests, optionally in parallel; results in input order."""
+    if jobs is None or jobs <= 1 or len(requests) <= 1:
+        return [_execute_request(request) for request in requests]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(requests))) as pool:
+        return list(pool.map(_execute_request, requests))

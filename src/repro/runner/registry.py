@@ -1,0 +1,168 @@
+"""Typed experiment registry with deterministic config canonicalization.
+
+Wraps :data:`repro.experiments.EXPERIMENTS` with one :class:`ExperimentSpec`
+per driver.  Every driver module declares its cacheable parameters in a
+``PARAMS`` mapping (name -> default) and, optionally, the object-valued
+injection parameters its ``run()`` also accepts in ``OBJECT_PARAMS``
+(pre-built characterizations, chip models, ...).  Only ``PARAMS`` values
+participate in cache keys; passing an object parameter bypasses the cache.
+
+Canonicalization turns arbitrary override mixes into one normal form --
+defaults merged in, values type-coerced (lists become tuples where the
+default is a tuple), keys sorted -- so that semantically identical configs
+always hash to the same cache key.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import types
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..experiments import EXPERIMENTS
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One declared experiment parameter: its type is fixed by its default."""
+
+    name: str
+    type: type
+    default: object
+
+    def coerce(self, value: object) -> object:
+        """Validate/coerce one override to the declared type.
+
+        Accepted coercions: ``int -> float`` and ``list -> tuple`` (with
+        per-item coercion to the default tuple's item type).  Anything else
+        that does not already match raises ``TypeError`` -- silently accepting
+        a mistyped value would poison the cache key space.
+        """
+        if self.type is bool:
+            if isinstance(value, bool):
+                return value
+            raise TypeError(f"parameter {self.name!r} expects bool, got {value!r}")
+        if self.type is int:
+            if isinstance(value, int) and not isinstance(value, bool):
+                return value
+            raise TypeError(f"parameter {self.name!r} expects int, got {value!r}")
+        if self.type is float:
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+            raise TypeError(f"parameter {self.name!r} expects float, got {value!r}")
+        if self.type is str:
+            if isinstance(value, str):
+                return value
+            raise TypeError(f"parameter {self.name!r} expects str, got {value!r}")
+        if self.type is tuple:
+            if not isinstance(value, (list, tuple)):
+                raise TypeError(f"parameter {self.name!r} expects a sequence, got {value!r}")
+            item_type = type(self.default[0]) if self.default else int
+            item_spec = ParamSpec(f"{self.name}[]", item_type, None)
+            return tuple(item_spec.coerce(item) for item in value)
+        raise TypeError(f"unsupported parameter type {self.type.__name__} for {self.name!r}")
+
+    def parse(self, text: str) -> object:
+        """Parse a CLI-style string value to the declared type."""
+        if self.type is bool:
+            lowered = text.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"parameter {self.name!r}: cannot parse bool from {text!r}")
+        if self.type is int:
+            return int(text)
+        if self.type is float:
+            return float(text)
+        if self.type is tuple:
+            item_type = type(self.default[0]) if self.default else int
+            item_spec = ParamSpec(f"{self.name}[]", item_type, None)
+            return tuple(item_spec.parse(part) for part in text.split(",") if part.strip())
+        return text
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One registered experiment: driver module + declared parameter schema."""
+
+    name: str
+    module: types.ModuleType
+    params: Mapping[str, ParamSpec]
+    object_params: frozenset[str]
+
+    @classmethod
+    def from_module(cls, name: str, module: types.ModuleType) -> "ExperimentSpec":
+        declared = getattr(module, "PARAMS", {})
+        params = {
+            pname: ParamSpec(pname, tuple if isinstance(default, (list, tuple)) else type(default), default)
+            for pname, default in declared.items()
+        }
+        object_params = frozenset(getattr(module, "OBJECT_PARAMS", ()))
+        spec = cls(name=name, module=module, params=params, object_params=object_params)
+        spec._check_against_signature()
+        return spec
+
+    def _check_against_signature(self) -> None:
+        """Declared defaults must agree with ``run()``'s actual signature."""
+        signature = inspect.signature(self.module.run)
+        accepts_kwargs = any(
+            parameter.kind is inspect.Parameter.VAR_KEYWORD
+            for parameter in signature.parameters.values()
+        )
+        for pname, spec in self.params.items():
+            parameter = signature.parameters.get(pname)
+            if parameter is None:
+                if accepts_kwargs:
+                    continue
+                raise TypeError(f"{self.name}: declared parameter {pname!r} not accepted by run()")
+            if (
+                parameter.default is not inspect.Parameter.empty
+                and parameter.default != spec.default
+            ):
+                raise TypeError(
+                    f"{self.name}: declared default for {pname!r} ({spec.default!r}) "
+                    f"disagrees with run() ({parameter.default!r})"
+                )
+
+    def canonical_config(self, overrides: Mapping[str, object] | None = None) -> dict[str, object]:
+        """Full config in canonical form: defaults + coerced overrides, sorted keys.
+
+        Rejects unknown parameter names (including object parameters -- a
+        config containing those is not cacheable and must bypass this path).
+        """
+        overrides = dict(overrides or {})
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise KeyError(
+                f"{self.name}: unknown/uncacheable parameter(s) {sorted(unknown)}; "
+                f"cacheable parameters are {sorted(self.params)}"
+            )
+        config: dict[str, object] = {}
+        for pname in sorted(self.params):
+            spec = self.params[pname]
+            config[pname] = spec.coerce(overrides.get(pname, spec.default))
+        return config
+
+    def canonical_json(self, config: Mapping[str, object]) -> str:
+        """Deterministic JSON form of a canonical config (tuples as arrays)."""
+        return json.dumps(
+            {key: list(value) if isinstance(value, tuple) else value for key, value in config.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def execute(self, config: Mapping[str, object]) -> list[dict[str, object]]:
+        """Run the driver with a canonical config."""
+        return self.module.run(**dict(config))
+
+    def render(self, rows: list[dict[str, object]]) -> str:
+        """Format rows (live or cached) with the driver's renderer."""
+        return self.module.render(rows)
+
+
+def build_registry() -> dict[str, ExperimentSpec]:
+    """One :class:`ExperimentSpec` per entry of ``EXPERIMENTS``."""
+    return {name: ExperimentSpec.from_module(name, module) for name, module in EXPERIMENTS.items()}

@@ -1,0 +1,189 @@
+"""The experiment runner: cache-aware, parallel experiment execution.
+
+:class:`ExperimentRunner` is the one code path behind ``python -m repro``,
+the benchmarks and the examples: it canonicalises the requested config,
+computes the content address (config + code fingerprint), replays from the
+:class:`~repro.runner.cache.ResultCache` on a hit and executes + stores on a
+miss.  Multi-experiment requests fan cold runs out over worker processes
+while warm ones replay instantly from disk.
+
+Cached and live paths return identical (sanitised) rows, so downstream
+rendering/export code never needs to know which path produced them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Mapping
+
+from .cache import CacheEntry, ResultCache, cache_key, run_provenance
+from .executor import execute_requests
+from .fingerprint import code_fingerprint
+from .registry import ExperimentSpec, build_registry
+from ..analysis.sweep import SweepResult
+
+
+@dataclass
+class RunReport:
+    """Outcome of one experiment run: rows plus cache/provenance facts.
+
+    ``elapsed_seconds`` is what *this* run spent (the replay time on a cache
+    hit); ``compute_seconds`` is what the underlying computation cost when it
+    actually ran (equal to ``elapsed_seconds`` on a miss, the stored cold
+    time on a hit).
+    """
+
+    name: str
+    rows: list[dict[str, object]]
+    config: dict[str, object]
+    cached: bool
+    elapsed_seconds: float
+    compute_seconds: float = 0.0
+    key: str | None = None
+    fingerprint: str | None = None
+
+    @property
+    def result(self) -> SweepResult:
+        return SweepResult(records=self.rows)
+
+
+class ExperimentRunner:
+    """Unified, cache-aware front end over the experiment registry."""
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        use_cache: bool = True,
+        registry: Mapping[str, ExperimentSpec] | None = None,
+    ):
+        self.registry = dict(registry) if registry is not None else build_registry()
+        self.cache = cache if cache is not None else ResultCache()
+        self.use_cache = use_cache
+
+    def spec(self, name: str) -> ExperimentSpec:
+        try:
+            return self.registry[name]
+        except KeyError:
+            known = ", ".join(sorted(self.registry))
+            raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+
+    def run(self, name: str, **overrides: object) -> RunReport:
+        """Run one experiment (cache-aware).
+
+        Overrides naming object parameters (pre-built models) or unknown
+        keys fall through to the driver directly and bypass the cache --
+        object identity cannot participate in a content address.
+        """
+        spec = self.spec(name)
+        if any(key not in spec.params for key in overrides):
+            start = time.perf_counter()
+            rows = SweepResult(records=spec.module.run(**overrides)).to_jsonable()
+            elapsed = time.perf_counter() - start
+            return RunReport(
+                name=name,
+                rows=rows,
+                config=dict(overrides),
+                cached=False,
+                elapsed_seconds=elapsed,
+                compute_seconds=elapsed,
+            )
+        return self.run_many([(name, dict(overrides))])[0]
+
+    def run_many(
+        self,
+        requests: list[tuple[str, dict[str, object]]],
+        *,
+        jobs: int | None = None,
+    ) -> list[RunReport]:
+        """Run ``(name, overrides)`` requests; cold ones fan out over ``jobs``.
+
+        Reports come back in request order.  Cache lookups happen up front in
+        the parent, executions in workers, cache writes back in the parent --
+        a single writer keeps the on-disk store simple.
+        """
+        prepared: list[RunReport | None] = []
+        cold: list[tuple[int, str, dict[str, object], str]] = []
+        cold_position: dict[str, int] = {}  # key -> index into `cold` (dedupe)
+        duplicates: list[tuple[int, str]] = []  # (request index, key)
+        fingerprints: dict[str, str] = {}
+        for index, (name, overrides) in enumerate(requests):
+            spec = self.spec(name)
+            config = spec.canonical_config(overrides)
+            if name not in fingerprints:
+                fingerprints[name] = code_fingerprint(spec.module.__name__)
+            key = cache_key(name, spec.canonical_json(config), fingerprints[name])
+            lookup_start = time.perf_counter()
+            entry = self.cache.get(name, key) if self.use_cache else None
+            if entry is not None:
+                prepared.append(
+                    RunReport(
+                        name=name,
+                        rows=entry.rows,
+                        config=config,
+                        cached=True,
+                        elapsed_seconds=time.perf_counter() - lookup_start,
+                        compute_seconds=entry.elapsed_seconds,
+                        key=key,
+                        fingerprint=entry.fingerprint,
+                    )
+                )
+            else:
+                prepared.append(None)
+                # Identical cold requests in one call compute only once.
+                if key in cold_position:
+                    duplicates.append((index, key))
+                else:
+                    cold_position[key] = len(cold)
+                    cold.append((index, name, config, key))
+        if cold:
+            outcomes = execute_requests(
+                [(name, config) for _index, name, config, _key in cold], jobs=jobs
+            )
+            for (index, name, config, key), (rows, elapsed) in zip(cold, outcomes):
+                spec = self.spec(name)
+                if self.use_cache:
+                    self.cache.put(
+                        key,
+                        CacheEntry(
+                            experiment=name,
+                            params=json.loads(spec.canonical_json(config)),
+                            fingerprint=fingerprints[name],
+                            result=SweepResult(records=rows),
+                            elapsed_seconds=elapsed,
+                            provenance=run_provenance(),
+                        ),
+                    )
+                prepared[index] = RunReport(
+                    name=name,
+                    rows=rows,
+                    config=config,
+                    cached=False,
+                    elapsed_seconds=elapsed,
+                    compute_seconds=elapsed,
+                    key=key,
+                    fingerprint=fingerprints[name],
+                )
+            for index, key in duplicates:
+                source = prepared[cold[cold_position[key]][0]]
+                prepared[index] = RunReport(
+                    name=source.name,
+                    rows=[dict(row) for row in source.rows],
+                    config=dict(source.config),
+                    cached=False,
+                    elapsed_seconds=source.elapsed_seconds,
+                    compute_seconds=source.compute_seconds,
+                    key=source.key,
+                    fingerprint=source.fingerprint,
+                )
+        return [report for report in prepared if report is not None]
+
+    def run_all(self, *, jobs: int | None = None) -> list[RunReport]:
+        """Every registered experiment with default configs, registry order."""
+        return self.run_many([(name, {}) for name in self.registry], jobs=jobs)
+
+    def render(self, report: RunReport) -> str:
+        """Driver-formatted text for a report's rows (live or cached alike)."""
+        return self.spec(report.name).render(report.rows)
