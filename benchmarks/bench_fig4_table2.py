@@ -92,7 +92,7 @@ def _measure_engine_speedup(workloads):
     return total_scalar / total_engine, ratios, total_scalar, total_engine
 
 
-def test_trace_engine_speedup(benchmark):
+def test_trace_engine_speedup(benchmark, trajectory):
     """The trace-compiled engine must be >= 10x faster than the interpreter
     on the fig4/table2 convolution workloads (SW = 8 and 64), bit-identical
     results required.  The measured ratios land in the CI timing-JSON
@@ -122,6 +122,7 @@ def test_trace_engine_speedup(benchmark):
         "engine_seconds": round(engine_seconds, 4),
         "gate": 10.0,
     }
+    trajectory("BENCH_PR2", benchmark.extra_info["BENCH_PR2"])
     benchmark.pedantic(
         lambda: _run_workloads(workloads, batch=True), rounds=3, iterations=1
     )

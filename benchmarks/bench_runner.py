@@ -31,7 +31,7 @@ def _run_workload(runner: ExperimentRunner) -> tuple[list[list[dict]], float]:
     return [report.rows for report in reports], time.perf_counter() - start
 
 
-def test_cache_replay_speedup(benchmark):
+def test_cache_replay_speedup(benchmark, trajectory):
     """Warm-cache replay must be >= 10x faster than the cold run, rows bit-identical.
 
     Cold is timed once (it includes the cache writes); the warm replay takes
@@ -67,6 +67,7 @@ def test_cache_replay_speedup(benchmark):
             "warm_seconds": round(warm_seconds, 4),
             "gate": 10.0,
         }
+        trajectory("BENCH_PR3", benchmark.extra_info["BENCH_PR3"])
         benchmark.pedantic(lambda: _run_workload(runner), rounds=3, iterations=1)
         assert speedup >= 10.0
 

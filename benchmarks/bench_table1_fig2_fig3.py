@@ -74,7 +74,7 @@ def _measure_speedup(samples: int) -> tuple[float, float, float]:
     return scalar_seconds / batch_seconds, scalar_seconds, batch_seconds
 
 
-def test_batch_engine_speedup(benchmark):
+def test_batch_engine_speedup(benchmark, trajectory):
     """The vectorised batch datapath must be >= 10x faster than the scalar walk.
 
     Both paths run the full multiplier characterisation (the workload behind
@@ -104,6 +104,7 @@ def test_batch_engine_speedup(benchmark):
         "batch_seconds": round(batch_seconds, 4),
         "gate": 10.0,
     }
+    trajectory("BENCH_PR1", benchmark.extra_info["BENCH_PR1"])
     benchmark.pedantic(
         lambda: characterize_multiplier(samples=samples, seed=2017, batch=True),
         rounds=1,

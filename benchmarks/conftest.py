@@ -3,13 +3,58 @@
 Every benchmark regenerates one table or figure of the paper and prints the
 reproduced rows (captured in ``bench_output.txt``); pytest-benchmark times the
 regeneration itself.
+
+Benchmarks that gate a speedup also persist their measured ratio through the
+``trajectory`` fixture: the collected ``BENCH_PR*`` payloads are merged into
+the tracked ``BENCH_TRAJECTORY.json`` at the repo root when the session ends,
+so the perf trajectory of the project lives in-repo rather than only as
+ephemeral CI timing artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
+
+import pytest
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+TRAJECTORY_PATH = Path(__file__).resolve().parent.parent / "BENCH_TRAJECTORY.json"
+
+#: ``BENCH_PR*`` payloads recorded by benchmarks during this session.
+_RECORDED: dict[str, dict[str, object]] = {}
+
+
+@pytest.fixture
+def trajectory():
+    """Record one benchmark's speedup payload for ``BENCH_TRAJECTORY.json``.
+
+    Usage: ``trajectory("BENCH_PR5", {"speedup": 2.3, ...})``.  Payloads are
+    merged into the tracked JSON at session end; keys not re-measured this
+    session keep their previous values.
+    """
+
+    def record(key: str, payload: dict[str, object]) -> None:
+        _RECORDED[key] = payload
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    # Only persist when the whole session passed: a failed speedup gate must
+    # not overwrite the tracked trajectory with its failing ratio.
+    if not _RECORDED or exitstatus != 0:
+        return
+    existing: dict[str, object] = {}
+    try:
+        loaded = json.loads(TRAJECTORY_PATH.read_text())
+        if isinstance(loaded, dict):
+            existing = loaded
+    except (OSError, ValueError):
+        pass
+    existing.update(_RECORDED)
+    TRAJECTORY_PATH.write_text(json.dumps(existing, indent=1, sort_keys=True) + "\n")

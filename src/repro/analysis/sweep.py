@@ -109,9 +109,14 @@ def parameter_sweep(
     either way.
     """
     if jobs is not None and jobs > 1:
-        from ..runner.executor import parallel_sweep  # local import: avoids a cycle
+        # Dynamic import: avoids an import cycle AND keeps the executor (whose
+        # worker bodies reach the registry and through it every driver) out of
+        # the drivers' static fingerprint closures -- editing one experiment
+        # must not invalidate the cached results of all the others.
+        import importlib
 
-        return parallel_sweep(parameters, evaluate, jobs=jobs)
+        executor = importlib.import_module("repro.runner.executor")
+        return executor.parallel_sweep(parameters, evaluate, jobs=jobs)
     result = SweepResult()
     for assignment in sweep_grid(parameters):
         outcome = dict(evaluate(**assignment))

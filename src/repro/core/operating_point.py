@@ -10,10 +10,14 @@ The Envision measurements of Table III are reported exactly in these terms
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..circuit.clock import constant_throughput_frequency
 from .power_model import ScalingParameters
-from .scaling import MultiplierCharacterization
+
+if TYPE_CHECKING:  # annotation-only: keeps the multiplier models out of the
+    # fingerprint closure of consumers that never execute them (e.g. fig8).
+    from .scaling import MultiplierCharacterization
 
 
 @dataclass(frozen=True)

@@ -279,6 +279,41 @@ def characterize_multiplier(
     )
 
 
+def characterization_artifact(*, samples: int, seed: int) -> MultiplierCharacterization:
+    """Artifact producer: the default 16-bit characterisation at (samples, seed).
+
+    This is the shared intermediate behind Table I, Fig. 2 and Fig. 3; the
+    artifact graph (:mod:`repro.runner.artifacts`) stores it under a content
+    address that embeds this module's import-closure fingerprint, so editing
+    the multiplier model invalidates exactly this artifact and its consumers.
+    """
+    return characterize_multiplier(samples=samples, seed=seed)
+
+
+def resolve_characterization(
+    *,
+    samples: int,
+    seed: int,
+    characterization: MultiplierCharacterization | None = None,
+) -> MultiplierCharacterization:
+    """The one resolver behind every driver-level characterisation lookup.
+
+    A pre-built object wins; otherwise the characterisation is loaded from
+    the active artifact store (populated once per cold ``run all`` by the
+    scheduler's artifact wave) or computed inline when no store is active --
+    bit-identical either way.
+    """
+    if characterization is not None:
+        return characterization
+    from ..runner.artifacts import resolve_artifact
+
+    return resolve_artifact(
+        "multiplier_characterization",
+        {"samples": samples, "seed": seed},
+        producer=characterization_artifact,
+    )
+
+
 @dataclass(frozen=True)
 class EnergyAccuracyPoint:
     """One point of the multiplier energy-accuracy trade-off (Fig. 3a)."""

@@ -11,19 +11,28 @@ Four series at constant 500 MOPS throughput for the Booth-Wallace multiplier:
 from __future__ import annotations
 
 from ..analysis.reporting import format_table
-from ..core.scaling import MultiplierCharacterization, characterize_multiplier
+from ..core.scaling import MultiplierCharacterization, resolve_characterization
 
 #: Cacheable run() parameters (name -> default); the runner registry's schema.
 PARAMS = {"samples": 300, "seed": 2017}
 #: Object-valued run() parameters; passing one bypasses the result cache.
 OBJECT_PARAMS = ("characterization",)
+#: Shared sub-experiment intermediates (artifact -> (producer, params subset)).
+ARTIFACTS = {
+    "multiplier_characterization": (
+        "repro.core.scaling:characterization_artifact",
+        ("samples", "seed"),
+    ),
+}
 
 
 def run(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
 ) -> list[dict[str, object]]:
     """One record per precision with every Fig. 2 quantity."""
-    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    characterization = resolve_characterization(
+        samples=samples, seed=seed, characterization=characterization
+    )
     das_activity = characterization.relative_activity("das")
     dvafs_activity = characterization.relative_activity("dvafs")
     rows = []

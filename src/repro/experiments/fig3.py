@@ -16,8 +16,8 @@ from ..arithmetic.fixed_point import quantization_rmse
 from ..core.pareto import TradeoffPoint, pareto_front
 from ..core.scaling import (
     MultiplierCharacterization,
-    characterize_multiplier,
     multiplier_energy_curves,
+    resolve_characterization,
 )
 
 
@@ -25,13 +25,22 @@ from ..core.scaling import (
 PARAMS = {"samples": 300, "rmse_samples": 1500, "seed": 2017}
 #: Object-valued run() parameters; passing one bypasses the result cache.
 OBJECT_PARAMS = ("characterization",)
+#: Shared sub-experiment intermediates (artifact -> (producer, params subset)).
+ARTIFACTS = {
+    "multiplier_characterization": (
+        "repro.core.scaling:characterization_artifact",
+        ("samples", "seed"),
+    ),
+}
 
 
 def run_fig3a(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
 ) -> list[dict[str, object]]:
     """Energy/word (relative to the plain 16 b multiplier) per technique and precision."""
-    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    characterization = resolve_characterization(
+        samples=samples, seed=seed, characterization=characterization
+    )
     rows = []
     for point in multiplier_energy_curves(characterization):
         rows.append(
@@ -56,7 +65,9 @@ def run_fig3b(
     characterization: MultiplierCharacterization | None = None,
 ) -> list[dict[str, object]]:
     """Relative energy vs. RMSE for DVAFS and the baselines of [3]-[5], [8]."""
-    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    characterization = resolve_characterization(
+        samples=samples, seed=seed, characterization=characterization
+    )
     rng = np.random.default_rng(seed)
     operand_values = rng.uniform(-1.0, 1.0, size=rmse_samples)
 
@@ -118,7 +129,9 @@ def run(
     characterization: MultiplierCharacterization | None = None,
 ) -> list[dict[str, object]]:
     """Both panels' rows, tagged with a ``panel`` column (the Fig. 3 data)."""
-    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    characterization = resolve_characterization(
+        samples=samples, seed=seed, characterization=characterization
+    )
     rows_a = run_fig3a(samples=samples, seed=seed, characterization=characterization)
     rows_b = run_fig3b(
         samples=samples, rmse_samples=rmse_samples, seed=seed, characterization=characterization

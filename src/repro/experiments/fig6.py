@@ -9,16 +9,27 @@ is found that keeps the network at >= 99 % relative accuracy.
   weights and evaluated with the top-1-agreement proxy on synthetic natural
   images, because ImageNet is not available offline; the layer structure and
   therefore the depth-dependent error propagation are preserved.
+
+Both searches flow through the cross-experiment artifact graph: the trained
+LeNet is one content-addressed artifact, its per-layer profile a second
+(produced *after* the first -- a two-wave DAG), and the AlexNet profile a
+third.  The artifact producers run the search in ``incremental`` mode
+(baseline prefix activations reused, certified early exit -- see
+:class:`~repro.nn.precision_search.PrecisionSearch`), which is bit-identical
+to the full-forward reference search that direct, store-less driver calls
+keep using as the golden path.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..analysis.reporting import format_table
 from ..nn import (
+    LayerPrecisionProfile,
     PrecisionSearch,
-    Trainer,
     alexnet,
-    lenet5,
+    resolve_trained_lenet,
     synthetic_digits,
     synthetic_natural_images,
 )
@@ -36,6 +47,143 @@ PARAMS = {
     "seed": 2017,
 }
 
+#: Shared sub-experiment intermediates (artifact -> (producer, params subset)).
+#: ``fig6_lenet_profile`` consumes ``lenet_state`` (a second topological
+#: wave); the AlexNet profile is an independent wave-0 unit.
+ARTIFACTS = {
+    "lenet_state": (
+        "repro.nn.training:lenet_state_artifact",
+        ("train_samples", "test_samples", "image_size", "epochs", "seed"),
+    ),
+    "fig6_lenet_profile": (
+        "repro.experiments.fig6:lenet_profile_artifact",
+        ("train_samples", "test_samples", "image_size", "epochs", "evaluation_samples", "seed"),
+        {"after": ("lenet_state",)},
+    ),
+    "fig6_alexnet_profile": (
+        "repro.experiments.fig6:alexnet_profile_artifact",
+        ("input_size", "seed"),
+    ),
+}
+
+#: AlexNet evaluation-set size baked into the artifact (the run() schema
+#: never varies it; direct calls overriding it bypass the store).
+ALEXNET_EVALUATION_SAMPLES = 12
+
+
+@dataclass(frozen=True)
+class LenetPrecisionData:
+    """Fig. 6's LeNet intermediate: per-layer profile + training accuracy."""
+
+    profiles: tuple[LayerPrecisionProfile, ...]
+    baseline_accuracy: float
+
+
+def _lenet_profile(
+    *,
+    train_samples: int,
+    test_samples: int,
+    image_size: int,
+    epochs: int,
+    evaluation_samples: int,
+    seed: int,
+    incremental: bool,
+) -> LenetPrecisionData:
+    """LeNet per-layer precision profile on the held-out digits.
+
+    Resolves the trained network through the store (a wave-0 artifact on
+    scheduled runs, trained inline otherwise) and runs the search with the
+    requested evaluation mode.
+    """
+    trained = resolve_trained_lenet(
+        train_samples=train_samples,
+        test_samples=test_samples,
+        image_size=image_size,
+        epochs=epochs,
+        seed=seed,
+    )
+    dataset = synthetic_digits(
+        train_samples=train_samples, test_samples=test_samples, size=image_size, seed=seed
+    )
+    search = PrecisionSearch(
+        trained.network,
+        dataset.test_images[:evaluation_samples],
+        labels=dataset.test_labels[:evaluation_samples],
+    )
+    return LenetPrecisionData(
+        profiles=tuple(search.profile(incremental=incremental)),
+        baseline_accuracy=trained.history.final_accuracy,
+    )
+
+
+def lenet_profile_artifact(
+    *,
+    train_samples: int,
+    test_samples: int,
+    image_size: int,
+    epochs: int,
+    evaluation_samples: int,
+    seed: int,
+) -> LenetPrecisionData:
+    """Artifact producer: the LeNet profile via the incremental search."""
+    return _lenet_profile(
+        train_samples=train_samples,
+        test_samples=test_samples,
+        image_size=image_size,
+        epochs=epochs,
+        evaluation_samples=evaluation_samples,
+        seed=seed,
+        incremental=True,
+    )
+
+
+def _alexnet_search(*, input_size: int, evaluation_samples: int, seed: int) -> PrecisionSearch:
+    network = alexnet(input_size=input_size, num_classes=50, seed=seed)
+    dataset = synthetic_natural_images(
+        samples=evaluation_samples, size=input_size, seed=seed, num_classes=10
+    )
+    return PrecisionSearch(network, dataset.train_images[:evaluation_samples])
+
+
+def alexnet_profile_artifact(
+    *, input_size: int, seed: int
+) -> tuple[LayerPrecisionProfile, ...]:
+    """Artifact producer: the AlexNet profile via the incremental search."""
+    search = _alexnet_search(
+        input_size=input_size, evaluation_samples=ALEXNET_EVALUATION_SAMPLES, seed=seed
+    )
+    return tuple(search.profile(incremental=True))
+
+
+def resolve_alexnet_profiles(
+    *,
+    input_size: int,
+    seed: int,
+    evaluation_samples: int = ALEXNET_EVALUATION_SAMPLES,
+) -> list[LayerPrecisionProfile]:
+    """AlexNet per-layer profiles, through the store when possible.
+
+    With an active store (and the standard evaluation-set size) the profile
+    resolves from the artifact produced by the scheduler's wave via the
+    incremental search; without one, the full-forward reference search runs
+    inline.  The two paths are bit-identical
+    (``tests/test_artifacts.py`` gates the equivalence).
+    """
+    from ..runner.artifacts import active_store, resolve_artifact
+
+    if evaluation_samples == ALEXNET_EVALUATION_SAMPLES and active_store() is not None:
+        return list(
+            resolve_artifact(
+                "fig6_alexnet_profile",
+                {"input_size": input_size, "seed": seed},
+                producer=alexnet_profile_artifact,
+            )
+        )
+    search = _alexnet_search(
+        input_size=input_size, evaluation_samples=evaluation_samples, seed=seed
+    )
+    return search.profile()
+
 
 def run_lenet(
     *,
@@ -47,19 +195,33 @@ def run_lenet(
     seed: int = 2017,
 ) -> list[dict[str, object]]:
     """Per-layer minimum precisions of a LeNet-5 trained on synthetic digits."""
-    dataset = synthetic_digits(
-        train_samples=train_samples, test_samples=test_samples, size=image_size, seed=seed
-    )
-    network = lenet5(input_size=image_size, seed=seed)
-    trainer = Trainer(network, learning_rate=0.1)
-    history = trainer.fit(dataset, epochs=epochs, batch_size=25, seed=seed)
-    search = PrecisionSearch(
-        network,
-        dataset.test_images[:evaluation_samples],
-        labels=dataset.test_labels[:evaluation_samples],
-    )
+    from ..runner.artifacts import active_store, resolve_artifact
+
+    if active_store() is not None:
+        data = resolve_artifact(
+            "fig6_lenet_profile",
+            {
+                "train_samples": train_samples,
+                "test_samples": test_samples,
+                "image_size": image_size,
+                "epochs": epochs,
+                "evaluation_samples": evaluation_samples,
+                "seed": seed,
+            },
+            producer=lenet_profile_artifact,
+        )
+    else:
+        data = _lenet_profile(
+            train_samples=train_samples,
+            test_samples=test_samples,
+            image_size=image_size,
+            epochs=epochs,
+            evaluation_samples=evaluation_samples,
+            seed=seed,
+            incremental=False,
+        )
     rows = []
-    for index, profile in enumerate(search.profile()):
+    for index, profile in enumerate(data.profiles):
         rows.append(
             {
                 "network": "LeNet-5",
@@ -67,7 +229,7 @@ def run_lenet(
                 "layer": profile.layer,
                 "weight_bits": profile.weight_bits,
                 "activation_bits": profile.activation_bits,
-                "baseline_accuracy": round(history.final_accuracy, 3),
+                "baseline_accuracy": round(data.baseline_accuracy, 3),
             }
         )
     return rows
@@ -76,17 +238,15 @@ def run_lenet(
 def run_alexnet(
     *,
     input_size: int = 67,
-    evaluation_samples: int = 12,
+    evaluation_samples: int = ALEXNET_EVALUATION_SAMPLES,
     seed: int = 2017,
 ) -> list[dict[str, object]]:
     """Per-layer minimum precisions of the AlexNet stand-in (agreement proxy)."""
-    network = alexnet(input_size=input_size, num_classes=50, seed=seed)
-    dataset = synthetic_natural_images(
-        samples=evaluation_samples, size=input_size, seed=seed, num_classes=10
+    profiles = resolve_alexnet_profiles(
+        input_size=input_size, seed=seed, evaluation_samples=evaluation_samples
     )
-    search = PrecisionSearch(network, dataset.train_images[:evaluation_samples])
     rows = []
-    for index, profile in enumerate(search.profile()):
+    for index, profile in enumerate(profiles):
         rows.append(
             {
                 "network": "AlexNet",

@@ -9,19 +9,28 @@ from __future__ import annotations
 
 from ..analysis.reporting import format_table
 from ..core.power_model import PAPER_TABLE_I
-from ..core.scaling import MultiplierCharacterization, characterize_multiplier
+from ..core.scaling import MultiplierCharacterization, resolve_characterization
 
 #: Cacheable run() parameters (name -> default); the runner registry's schema.
 PARAMS = {"samples": 300, "seed": 2017}
 #: Object-valued run() parameters; passing one bypasses the result cache.
 OBJECT_PARAMS = ("characterization",)
+#: Shared sub-experiment intermediates (artifact -> (producer, params subset)).
+ARTIFACTS = {
+    "multiplier_characterization": (
+        "repro.core.scaling:characterization_artifact",
+        ("samples", "seed"),
+    ),
+}
 
 
 def run(
     *, samples: int = 300, seed: int = 2017, characterization: MultiplierCharacterization | None = None
 ) -> list[dict[str, object]]:
     """Compute the Table I rows; returns one record per precision."""
-    characterization = characterization or characterize_multiplier(samples=samples, seed=seed)
+    characterization = resolve_characterization(
+        samples=samples, seed=seed, characterization=characterization
+    )
     extracted = characterization.scaling_parameters()
     rows = []
     for precision in sorted(extracted, reverse=True):

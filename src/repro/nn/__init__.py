@@ -13,7 +13,15 @@ from .quantization import (
     quantize_to_codes,
 )
 from .sparsity import LayerSparsity, average_guard_rate, measure_sparsity, prune_network
-from .training import Trainer, TrainingHistory, cross_entropy_loss, softmax
+from .training import (
+    TrainedLeNet,
+    Trainer,
+    TrainingHistory,
+    cross_entropy_loss,
+    lenet_state_artifact,
+    resolve_trained_lenet,
+    softmax,
+)
 
 __all__ = [
     "Dataset",
@@ -43,8 +51,11 @@ __all__ = [
     "average_guard_rate",
     "measure_sparsity",
     "prune_network",
+    "TrainedLeNet",
     "Trainer",
     "TrainingHistory",
     "cross_entropy_loss",
+    "lenet_state_artifact",
+    "resolve_trained_lenet",
     "softmax",
 ]

@@ -10,6 +10,14 @@ Relative accuracy is measured either against ground-truth labels (for
 networks we can train, e.g. LeNet-5 on the synthetic digit task) or as
 top-1 agreement with the floating-point model (for the AlexNet / VGG16
 stand-ins whose original training data is unavailable offline).
+
+Because each probe quantises exactly one layer while everything before it
+stays floating point, the activations entering the probed layer are the
+*baseline* activations -- a reusable intermediate.  ``incremental=True``
+caches those per-layer inputs from one baseline pass and re-runs only the
+suffix of the network per candidate; the results are bit-identical to the
+full-forward reference (the default), which stays as the golden path the
+equivalence tests gate against.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ import numpy as np
 
 from ..analysis.metrics import classification_accuracy, top1_agreement
 from .network import Network
-from .quantization import QuantizationConfig
+from .quantization import QuantizationConfig, quantize
 
 
 @dataclass(frozen=True)
@@ -84,10 +92,39 @@ class PrecisionSearch:
         self.labels = None if labels is None else np.asarray(labels)
         self.relative_accuracy_target = relative_accuracy_target
         self.candidate_bits = tuple(sorted(candidate_bits))
-        self._baseline_logits = network.forward_batch(self.samples)
-        self._baseline_predictions = np.argmax(self._baseline_logits, axis=1)
+        #: Baseline logits, computed on first use -- by a plain forward pass,
+        #: or as a by-product of the incremental path's prefix capture (both
+        #: run the identical per-layer batch loop, so the logits are the
+        #: same bits either way).
+        self._baseline_logits_cache: np.ndarray | None = None
+        #: Lazily captured baseline inputs of each weighted layer
+        #: (layer name -> (position in network.layers, activation batch)).
+        self._prefix_inputs: dict[str, tuple[int, np.ndarray]] | None = None
+        #: Lazily computed max(|weights|) per probed layer (the weight-scan
+        #: candidates all share one weight matrix).
+        self._weight_max_abs: dict[str, float] = {}
+        #: Reusable quantisation buffer per probed layer -- repeat weight
+        #: scans write into one allocation instead of faulting in a fresh
+        #: fc-layer-sized array per candidate.
+        self._weight_scratch: dict[str, np.ndarray] = {}
+        #: How often each evaluation sample has disagreed across incremental
+        #: probes.  Samples near decision boundaries disagree under *any*
+        #: layer's corruption, so the frequent offenders seed later scans'
+        #: certification probes (which samples are probed never affects the
+        #: decision, only how quickly failure is certified).
+        self._suspect_counts = np.zeros(self.samples.shape[0], dtype=np.int64)
 
     # -- accuracy evaluation ---------------------------------------------------
+
+    @property
+    def _baseline_logits(self) -> np.ndarray:
+        if self._baseline_logits_cache is None:
+            self._baseline_logits_cache = self.network.forward_batch(self.samples)
+        return self._baseline_logits_cache
+
+    @property
+    def _baseline_predictions(self) -> np.ndarray:
+        return np.argmax(self._baseline_logits, axis=1)
 
     def baseline_accuracy(self) -> float:
         """Accuracy of the floating-point model (1.0 under the agreement proxy)."""
@@ -95,9 +132,7 @@ class PrecisionSearch:
             return 1.0
         return classification_accuracy(self._baseline_logits, self.labels)
 
-    def relative_accuracy(self, configs: dict[str, QuantizationConfig]) -> float:
-        """Relative accuracy of the network under the given quantisation."""
-        logits = self.network.forward_batch(self.samples, configs=configs)
+    def _score(self, logits: np.ndarray) -> float:
         if self.labels is None:
             return top1_agreement(self._baseline_logits, logits)
         baseline = self.baseline_accuracy()
@@ -105,12 +140,203 @@ class PrecisionSearch:
             raise ValueError("baseline accuracy is zero; cannot compute relative accuracy")
         return classification_accuracy(logits, self.labels) / baseline
 
+    def relative_accuracy(self, configs: dict[str, QuantizationConfig]) -> float:
+        """Relative accuracy of the network under the given quantisation."""
+        return self._score(self.network.forward_batch(self.samples, configs=configs))
+
+    # -- incremental evaluation ---------------------------------------------------
+
+    def _layer_prefix_inputs(self) -> dict[str, tuple[int, np.ndarray]]:
+        """Baseline activations entering each weighted layer (captured once).
+
+        The capture is one unquantised batch pass -- the same per-layer loop
+        ``Network.forward_batch`` runs -- so its final tensor doubles as the
+        baseline logits (stored if not already computed: one pass serves
+        both).
+        """
+        if self._prefix_inputs is None:
+            weighted = {id(layer) for layer in self.network.weighted_layers()}
+            inputs: dict[str, tuple[int, np.ndarray]] = {}
+            tensors = self.samples
+            for position, layer in enumerate(self.network.layers):
+                if id(layer) in weighted:
+                    inputs[layer.name] = (position, tensors)
+                tensors = layer.forward_batch(tensors, None)
+            self._prefix_inputs = inputs
+            if self._baseline_logits_cache is None:
+                self._baseline_logits_cache = tensors
+        return self._prefix_inputs
+
+    def relative_accuracy_incremental(self, layer_name: str, config: QuantizationConfig) -> float:
+        """Relative accuracy with exactly one layer quantised, prefix reused.
+
+        All layers before ``layer_name`` run unquantised, so their outputs
+        equal the cached baseline activations bit for bit; only the suffix
+        from the probed layer on is recomputed.  Equivalent to
+        ``relative_accuracy({layer_name: config})`` byte for byte, at a
+        fraction of the arithmetic.
+        """
+        position, tensors = self._layer_prefix_inputs()[layer_name]
+        configs = {layer_name: config}
+        for layer in self.network.layers[position:]:
+            tensors = layer.forward_batch(tensors, configs.get(layer.name))
+        return self._score(tensors)
+
+    def _quantized_weights(self, layer_name: str, weights: np.ndarray, bits: int) -> np.ndarray:
+        """``quantize(weights, bits)`` with the per-layer ``max(|W|)`` cached.
+
+        Every candidate of a weight scan quantises the same matrix, so the
+        reduction passes over the (fc-layer-sized) weights are paid once per
+        layer instead of once per candidate, and all candidates share one
+        scratch buffer.  The 1-bit binary path scales by the mean magnitude,
+        not ``quantization_scale``, and uses the scratch as its ``|W|``
+        workspace only.
+        """
+        scratch = self._weight_scratch.get(layer_name)
+        if scratch is None or scratch.shape != np.shape(weights):
+            scratch = np.empty_like(np.asarray(weights, dtype=np.float64))
+            self._weight_scratch[layer_name] = scratch
+        if bits == 1:
+            return quantize(weights, bits, out=scratch)
+        max_abs = self._weight_max_abs.get(layer_name)
+        if max_abs is None:
+            tensor = np.asarray(weights, dtype=np.float64)
+            # Same value quantization_scale computes: max(|W|) via the two
+            # reductions, no |W|-sized temporary.
+            max_abs = max(float(np.max(tensor)), -float(np.min(tensor))) if tensor.size else 0.0
+            self._weight_max_abs[layer_name] = max_abs
+        return quantize(weights, bits, max_abs=max_abs, out=scratch)
+
+    #: Samples evaluated by the leading certification probe of a scan's first
+    #: candidate (later candidates re-probe the samples that disagreed at
+    #: lower bit widths instead).
+    _PROBE_CHUNK = 4
+
+    def _probe_candidate(
+        self,
+        layer_name: str,
+        config: QuantizationConfig,
+        suspects: np.ndarray | None,
+    ) -> tuple[bool, np.ndarray]:
+        """Does quantising one layer keep the accuracy target?  (Early exit.)
+
+        The pass/fail decision is a monotone function of the number of
+        correctly-classified (or argmax-agreeing) samples, so any evaluated
+        subset whose disagreements already push the best-achievable score
+        below the target certifies *failure* without touching the rest of
+        the batch.  The probe exploits that twice:
+
+        * ``suspects`` carries every sample index seen disagreeing at the
+          lower-bit candidates of the same scan -- corruption shrinks as
+          bits grow, so previously-disagreeing samples are the cheapest
+          failure certificate available;
+        * a scan's first candidate (no suspects yet) probes a small leading
+          chunk, which certifies the grossly-failing low-bit candidates.
+
+        Undecided probes fall back to one whole-batch evaluation -- the same
+        batch shape and float operations the reference path runs -- so the
+        returned decision is identical to a full evaluation.
+
+        When the probe quantises weights, the probed layer's weights are
+        quantised once up front and temporarily swapped in (with the
+        remaining config stripped of its ``weight_bits``) instead of being
+        re-quantised by every forward call -- ``quantize`` is deterministic,
+        so the arithmetic is unchanged.
+
+        Returns ``(passed, disagreeing sample indices)``; the indices seed
+        the next candidate's ``suspects``.
+        """
+        position, inputs = self._layer_prefix_inputs()[layer_name]
+        probed = self.network.layers[position]
+        count = inputs.shape[0]
+        if self.labels is None:
+            reference = self._baseline_predictions
+            baseline = None
+        else:
+            reference = np.asarray(self.labels)
+            baseline = self.baseline_accuracy()
+            if baseline == 0:
+                raise ValueError("baseline accuracy is zero; cannot compute relative accuracy")
+
+        def score(hits: int) -> float:
+            # Exactly mirrors np.mean over the full batch: sums of 0/1 values
+            # are exact integers, so hits/count is the same correctly-rounded
+            # float64 the reference metric produces.
+            accuracy = float(np.float64(hits) / np.float64(count))
+            return accuracy if baseline is None else accuracy / baseline
+
+        def certifies_failure(misses: int) -> bool:
+            # Even if every sample not yet seen disagreeing were a hit, the
+            # score could not reach the target.
+            return score(count - misses) < self.relative_accuracy_target
+
+        def predictions(batch: np.ndarray, probed_config: QuantizationConfig | None) -> np.ndarray:
+            tensors = batch
+            for layer in self.network.layers[position:]:
+                tensors = layer.forward_batch(
+                    tensors, probed_config if layer is probed else None
+                )
+            return np.argmax(tensors, axis=1)
+
+        swap_weights = config.weight_bits is not None and probed.has_weights
+        if swap_weights:
+            original_weights = probed.weights
+            probed.weights = self._quantized_weights(layer_name, original_weights, config.weight_bits)
+            probed_config = (
+                QuantizationConfig(activation_bits=config.activation_bits)
+                if config.activation_bits is not None
+                else None
+            )
+        else:
+            probed_config = config
+        try:
+            probed_indices = np.arange(0)
+            disagreeing = np.arange(0)
+            if suspects is not None and suspects.size:
+                probed_indices = suspects
+                disagreeing = suspects[
+                    predictions(inputs[suspects], probed_config) != reference[suspects]
+                ]
+                if certifies_failure(int(disagreeing.size)):
+                    return False, disagreeing
+            elif suspects is None:
+                first = min(self._PROBE_CHUNK, count)
+                if first < count:
+                    probed_indices = np.arange(first)
+                    disagreeing = np.flatnonzero(
+                        predictions(inputs[:first], probed_config) != reference[:first]
+                    )
+                    if certifies_failure(int(disagreeing.size)):
+                        return False, disagreeing
+            # Undecided: evaluate the samples the early stage did not touch
+            # and combine the exact per-sample miss counts (sample results
+            # are independent of how the batch is split).
+            rest = (
+                np.setdiff1d(np.arange(count), probed_indices)
+                if probed_indices.size
+                else np.arange(count)
+            )
+            rest_disagreeing = rest[predictions(inputs[rest], probed_config) != reference[rest]]
+            disagreeing = np.union1d(disagreeing, rest_disagreeing)
+            passed = score(count - int(disagreeing.size)) >= self.relative_accuracy_target
+            return passed, disagreeing
+        finally:
+            if swap_weights:
+                probed.weights = original_weights
+
     # -- search ------------------------------------------------------------------
 
-    def minimum_bits_for_layer(self, layer_name: str, *, target: str) -> int:
+    def minimum_bits_for_layer(
+        self, layer_name: str, *, target: str, incremental: bool = False
+    ) -> int:
         """Smallest precision of ``target`` (``"weights"``/``"activations"``) for one layer."""
         if target not in ("weights", "activations"):
             raise ValueError("target must be 'weights' or 'activations'")
+        # Seed the scan with the most frequent offenders of earlier scans
+        # (when there are none, the probe falls back to its leading chunk).
+        ranked = np.argsort(-self._suspect_counts, kind="stable")
+        seed = ranked[self._suspect_counts[ranked] > 0][:3]
+        suspects: np.ndarray | None = np.sort(seed) if seed.size else None
         layer_names = [layer.name for layer in self.network.weighted_layers()]
         if layer_name not in layer_names:
             raise ValueError(f"unknown weighted layer {layer_name!r}")
@@ -119,17 +345,40 @@ class PrecisionSearch:
                 config = QuantizationConfig(weight_bits=bits)
             else:
                 config = QuantizationConfig(activation_bits=bits)
-            accuracy = self.relative_accuracy({layer_name: config})
-            if accuracy >= self.relative_accuracy_target:
+            if incremental:
+                passed, disagreeing = self._probe_candidate(layer_name, config, suspects)
+                self._suspect_counts[disagreeing] += 1
+                if passed:
+                    return bits
+                # Accumulate every sample seen disagreeing in this scan:
+                # near-threshold candidates often fail through a different
+                # sample than their predecessor, and the union keeps all of
+                # them on the cheap certification path.
+                suspects = (
+                    disagreeing
+                    if suspects is None
+                    else np.union1d(suspects, disagreeing)
+                )
+                continue
+            if self.relative_accuracy({layer_name: config}) >= self.relative_accuracy_target:
                 return bits
         return self.candidate_bits[-1]
 
-    def profile(self) -> list[LayerPrecisionProfile]:
-        """Per-layer minimum weight and activation precisions (Fig. 6 data)."""
+    def profile(self, *, incremental: bool = False) -> list[LayerPrecisionProfile]:
+        """Per-layer minimum weight and activation precisions (Fig. 6 data).
+
+        ``incremental=True`` reuses the cached baseline prefix activations
+        per probe (bit-identical, much faster); the default full-forward
+        evaluation is the golden reference.
+        """
         profiles = []
         for layer in self.network.weighted_layers():
-            weight_bits = self.minimum_bits_for_layer(layer.name, target="weights")
-            activation_bits = self.minimum_bits_for_layer(layer.name, target="activations")
+            weight_bits = self.minimum_bits_for_layer(
+                layer.name, target="weights", incremental=incremental
+            )
+            activation_bits = self.minimum_bits_for_layer(
+                layer.name, target="activations", incremental=incremental
+            )
             profiles.append(
                 LayerPrecisionProfile(
                     layer=layer.name,

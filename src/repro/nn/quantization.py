@@ -41,30 +41,59 @@ class QuantizationConfig:
         return max(candidates) if candidates else 16
 
 
-def quantization_scale(tensor: np.ndarray, bits: int) -> float:
+def quantization_scale(tensor: np.ndarray, bits: int, *, max_abs: float | None = None) -> float:
     """Power-of-two scale mapping ``tensor`` onto ``bits``-bit signed integers.
 
     The scale is the smallest power of two that covers the tensor's maximum
     absolute value, which keeps dequantisation a pure shift (as fixed-point
-    hardware does).
+    hardware does).  ``max_abs`` may carry a precomputed ``max(|tensor|)`` so
+    repeated scans of one weight matrix (the precision search probes every
+    candidate bit width) skip the reduction passes.
     """
     if bits < 1:
         raise ValueError("bits must be positive")
     tensor = np.asarray(tensor, dtype=np.float64)
-    max_abs = float(np.max(np.abs(tensor))) if tensor.size else 0.0
+    if max_abs is None:
+        # max(|W|) via the two reductions instead of np.max(np.abs(...)):
+        # same value, but no |W|-sized temporary (the fc-layer weight
+        # matrices in the precision-search hot path are hundreds of
+        # megabytes).
+        max_abs = max(float(np.max(tensor)), -float(np.min(tensor))) if tensor.size else 0.0
     if max_abs == 0.0:
         return 1.0
     # Want max_abs <= scale * levels; choose scale = 2**e.  A 1-bit code has
     # a single magnitude level (BinaryNet-style +-scale).
     levels = max(1, 2 ** (bits - 1) - 1)
-    exponent = np.ceil(np.log2(max_abs / levels))
-    return float(2.0**exponent)
+    ratio = max_abs / levels
+    smallest_subnormal = float(np.nextafter(0.0, 1.0))
+    if ratio < smallest_subnormal:
+        # Denormal underflow: the smallest positive double still covers.
+        return smallest_subnormal
+    exponent = np.ceil(np.log2(ratio))
+    return max(float(2.0**exponent), smallest_subnormal)
 
 
-def quantize(tensor: np.ndarray, bits: int | None) -> np.ndarray:
+def quantize(
+    tensor: np.ndarray,
+    bits: int | None,
+    *,
+    scale: float | None = None,
+    max_abs: float | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Quantise ``tensor`` to ``bits``-bit fixed point (returns dequantised floats).
 
     ``bits=None`` returns the tensor unchanged (floating-point reference).
+    ``scale`` may carry a precomputed ``quantization_scale(tensor, bits)``
+    (it is ignored by the 1-bit binary path, which scales by the mean
+    magnitude instead).  ``max_abs`` may carry a precomputed
+    ``max(|tensor|)``: it feeds the scale computation and lets the clip
+    pass be skipped when provably an identity.  ``out``, when given,
+    receives the result for
+    ``bits >= 2`` (same float64 shape as ``tensor``); repeat quantisations of
+    one large weight matrix then reuse a single buffer instead of paying a
+    fresh multi-megabyte allocation per call.  (The 1-bit path uses ``out``
+    only as a ``|tensor|`` workspace -- its result is a fresh array.)
     """
     if bits is None:
         return np.asarray(tensor, dtype=np.float64)
@@ -72,15 +101,37 @@ def quantize(tensor: np.ndarray, bits: int | None) -> np.ndarray:
     if bits == 1:
         # Binary quantisation (the Courbariaux et al. regime cited in the
         # paper): values become +-scale, with scale set by the mean magnitude.
-        scale = float(np.mean(np.abs(tensor))) if tensor.size else 1.0
+        magnitude = np.abs(tensor, out=out) if out is not None else np.abs(tensor)
+        scale = float(np.mean(magnitude)) if tensor.size else 1.0
         if scale == 0.0:
             return np.zeros_like(tensor)
         return np.where(tensor >= 0.0, scale, -scale)
-    scale = quantization_scale(tensor, bits)
+    if scale is None:
+        scale = quantization_scale(tensor, bits, max_abs=max_abs)
     lo = -(2 ** (bits - 1))
     hi = 2 ** (bits - 1) - 1
-    codes = np.clip(np.round(tensor / scale), lo, hi)
-    return codes * scale
+    # One working buffer, mutated in place: the float operations are
+    # element-wise identical to ``np.clip(np.round(t / scale), lo, hi) *
+    # scale``, but the multi-megabyte temporaries (fc-layer weight matrices
+    # dominate the precision-search hot path) are never allocated.  The
+    # scale is a power of two, so its reciprocal is exact and multiplying
+    # by it is the same correctly-rounded operation as dividing -- at a
+    # fraction of the cost; the guard keeps the division for the subnormal
+    # edge where the reciprocal would overflow.
+    reciprocal = 1.0 / scale
+    if np.isfinite(reciprocal) and reciprocal != 0.0:
+        codes = np.multiply(tensor, reciprocal, out=out)
+    else:  # pragma: no cover - subnormal/huge scales only
+        codes = np.divide(tensor, scale, out=out)
+    np.round(codes, out=codes)
+    if max_abs is None or max_abs > scale * hi:
+        # When a caller-supplied max(|tensor|) proves the scale covers the
+        # range (max_abs <= scale * hi, so every rounded code already lies
+        # inside [lo, hi]), the clip is an identity and the pass is skipped
+        # -- the repeat weight-scan probes of the precision search use this.
+        np.clip(codes, lo, hi, out=codes)
+    codes *= scale
+    return codes
 
 
 def quantize_per_sample(tensor: np.ndarray, bits: int | None) -> np.ndarray:

@@ -1,35 +1,67 @@
-"""Experiment orchestration: registry, result cache, parallel execution, CLI.
+"""Experiment orchestration: registry, caches, artifact graph, parallel execution, CLI.
 
-The runner unifies how the reproduction executes (PR 3):
+The runner unifies how the reproduction executes (PR 3, extended in PR 5):
 
 * :mod:`repro.runner.registry` -- typed experiment specs with deterministic
-  config canonicalization over ``repro.experiments.EXPERIMENTS``;
+  config canonicalization over ``repro.experiments.EXPERIMENTS``, plus the
+  drivers' declared ``ARTIFACTS`` bindings;
 * :mod:`repro.runner.fingerprint` -- static import-closure code fingerprints;
 * :mod:`repro.runner.cache` -- the content-addressed on-disk result cache
   (key = experiment + canonical params + code fingerprint);
-* :mod:`repro.runner.executor` -- process-parallel sweep/experiment fan-out
-  with deterministic record ordering;
-* :mod:`repro.runner.service` -- the cache-aware :class:`ExperimentRunner`;
+* :mod:`repro.runner.artifacts` -- the content-addressed store for shared
+  sub-experiment intermediates (key = artifact + canonical params +
+  producer fingerprint) with hit/miss statistics;
+* :mod:`repro.runner.executor` -- process-parallel sweep/artifact/experiment
+  fan-out with deterministic record ordering;
+* :mod:`repro.runner.service` -- the cache- and artifact-aware
+  :class:`ExperimentRunner` scheduling cold runs as topological DAG waves;
 * :mod:`repro.runner.cli` -- the ``python -m repro`` entry point.
 """
 
+from .artifacts import (
+    ArtifactEntry,
+    ArtifactStore,
+    StoreStats,
+    activated,
+    active_store,
+    artifact_key,
+    default_artifact_root,
+    load_stats,
+    record_stats,
+    reset_stats,
+    resolve_artifact,
+)
 from .cache import CacheEntry, ResultCache, cache_key, default_cache_root
 from .cli import main
-from .executor import execute_requests, parallel_sweep
+from .executor import execute_requests, parallel_sweep, produce_artifacts
 from .fingerprint import code_fingerprint, module_closure
-from .registry import ExperimentSpec, ParamSpec, build_registry
-from .service import ExperimentRunner, RunReport
+from .registry import ArtifactBinding, ExperimentSpec, ParamSpec, build_registry
+from .service import ArtifactUnit, ExperimentRunner, RunReport
 
 __all__ = [
+    "ArtifactBinding",
+    "ArtifactEntry",
+    "ArtifactStore",
+    "ArtifactUnit",
     "CacheEntry",
     "ResultCache",
+    "StoreStats",
+    "activated",
+    "active_store",
+    "artifact_key",
     "cache_key",
+    "default_artifact_root",
     "default_cache_root",
+    "load_stats",
     "main",
     "execute_requests",
     "parallel_sweep",
+    "produce_artifacts",
     "code_fingerprint",
     "module_closure",
+    "record_stats",
+    "reset_stats",
+    "resolve_artifact",
     "ExperimentSpec",
     "ParamSpec",
     "build_registry",

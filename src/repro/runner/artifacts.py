@@ -1,0 +1,429 @@
+"""Content-addressed store for cross-experiment *sub-experiment* artifacts.
+
+The result cache (PR 3) deduplicates whole experiment runs, but a cold
+``run all`` still recomputes shared intermediates: table1, fig2 and fig3
+each need the same multiplier characterisation, and fig6's AlexNet
+precision search re-derives one layer profile after another on a single
+core.  This module stores those intermediates -- multiplier
+characterisations, trained networks, per-layer precision profiles,
+sparsity workloads -- under content addresses mirroring the result-cache
+keying::
+
+    sha256(schema version + artifact name + canonical params + producer fingerprint)
+
+The *producer fingerprint* is the static import-closure digest
+(:func:`repro.runner.fingerprint.code_fingerprint`) of the producer's
+module, so an edit to ``core/scaling.py`` invalidates exactly the
+characterisation artifact and its consumers' result entries -- never
+fig6's trained weights.
+
+Two layers use the store:
+
+* the scheduler (:mod:`repro.runner.service`) resolves each driver's
+  declared ``ARTIFACTS`` into a producer/consumer DAG and fills the store
+  in topological waves over worker processes before cold experiments run;
+* producer modules expose *resolvers* built on :func:`resolve_artifact`:
+  with a store active they load-or-compute (and therefore hit after the
+  scheduler's wave); without one they compute inline, so direct driver
+  calls behave exactly as before the store existed.
+
+Entries are pickles, which is safe here for the same reason the result
+cache's JSON is trusted: the store root is a local directory owned by the
+user running the experiments.  This module deliberately imports nothing
+from the runner package except :mod:`~repro.runner.fingerprint`, so a
+driver's lazy ``from ..runner.artifacts import ...`` keeps the result
+cache and CLI out of its fingerprint closure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import importlib
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, Mapping
+
+from .fingerprint import code_fingerprint
+
+#: Bumped when the on-disk artifact layout changes; part of every key.
+ARTIFACT_SCHEMA_VERSION = 1
+
+#: File name (under the shared cache root) of the hit/miss counters.
+STATS_FILENAME = "_stats.json"
+
+
+def default_artifact_root() -> Path:
+    """``<result-cache root>/artifacts`` (honours ``$REPRO_CACHE_DIR``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    base = Path(env) if env else Path.home() / ".cache" / "dvafs-repro"
+    return base / "artifacts"
+
+
+def canonical_params_json(params: Mapping[str, object]) -> str:
+    """Deterministic JSON form of artifact parameters (tuples as arrays)."""
+    return json.dumps(
+        {key: list(value) if isinstance(value, tuple) else value for key, value in params.items()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def artifact_key(artifact: str, params: Mapping[str, object], fingerprint: str) -> str:
+    """Content address of one artifact: name + canonical params + producer code."""
+    blob = json.dumps(
+        {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "artifact": artifact,
+            "params": canonical_params_json(params),
+            "fingerprint": fingerprint,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def load_producer(producer: str) -> Callable[..., object]:
+    """Resolve a ``"package.module:function"`` producer path to its callable."""
+    module_name, separator, function_name = producer.partition(":")
+    if not separator or not module_name or not function_name:
+        raise ValueError(f"producer {producer!r} is not of the form 'module:function'")
+    module = importlib.import_module(module_name)
+    function = getattr(module, function_name, None)
+    if not callable(function):
+        raise TypeError(f"producer {producer!r} does not name a callable")
+    return function
+
+
+@dataclass
+class ArtifactEntry:
+    """One stored artifact: payload plus the provenance to trust it."""
+
+    artifact: str
+    params: dict[str, object]
+    fingerprint: str
+    payload: object
+    elapsed_seconds: float
+    provenance: dict[str, object] = field(default_factory=dict)
+
+    def to_document(self) -> dict[str, object]:
+        return {
+            "schema": ARTIFACT_SCHEMA_VERSION,
+            "artifact": self.artifact,
+            "params": self.params,
+            "fingerprint": self.fingerprint,
+            "elapsed_seconds": self.elapsed_seconds,
+            "provenance": self.provenance,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "ArtifactEntry":
+        return cls(
+            artifact=str(document["artifact"]),
+            params=dict(document["params"]),
+            fingerprint=str(document["fingerprint"]),
+            payload=document["payload"],
+            elapsed_seconds=float(document["elapsed_seconds"]),
+            provenance=dict(document.get("provenance", {})),
+        )
+
+
+class ArtifactStore:
+    """Content-addressed store of sub-experiment intermediates."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else default_artifact_root()
+
+    @staticmethod
+    def _check_artifact_name(artifact: str) -> str:
+        """Artifact names are single path components -- never traversal."""
+        if Path(artifact).name != artifact or artifact in ("", ".", ".."):
+            raise ValueError(f"invalid artifact name {artifact!r}")
+        return artifact
+
+    def _path(self, artifact: str, key: str) -> Path:
+        return self.root / self._check_artifact_name(artifact) / f"{key}.pkl"
+
+    def exists(self, artifact: str, key: str) -> bool:
+        """Cheap presence probe (no unpickling)."""
+        return self._path(artifact, key).is_file()
+
+    def get(self, artifact: str, key: str) -> ArtifactEntry | None:
+        """The stored entry, or ``None`` on miss/corruption (corrupt = miss)."""
+        path = self._path(artifact, key)
+        try:
+            document = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return None
+        if not isinstance(document, dict) or document.get("schema") != ARTIFACT_SCHEMA_VERSION:
+            return None
+        try:
+            return ArtifactEntry.from_document(document)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, key: str, entry: ArtifactEntry) -> Path:
+        """Atomically persist one entry; returns its path."""
+        path = self._path(entry.artifact, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(entry.to_document())
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                handle.write(blob)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self, artifact: str | None = None) -> Iterator[tuple[str, Path]]:
+        """(key, path) pairs of stored entries, sorted for stable listings."""
+        if artifact is not None:
+            self._check_artifact_name(artifact)
+        if not self.root.is_dir():
+            return
+        directories = (
+            [self.root / artifact]
+            if artifact is not None
+            else sorted(child for child in self.root.iterdir() if child.is_dir())
+        )
+        for directory in directories:
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.glob("*.pkl")):
+                yield path.stem, path
+
+    def ls(self, artifact: str | None = None) -> list[dict[str, object]]:
+        """Metadata summary of stored entries.
+
+        Each entry is unpickled to read its provenance -- acceptable while
+        stores hold a handful of artifacts; a metadata sidecar would be the
+        upgrade path if listings ever get hot.
+        """
+        listing = []
+        for key, path in self.entries(artifact):
+            entry = self.get(path.parent.name, key)
+            listing.append(
+                {
+                    "artifact": entry.artifact if entry else path.parent.name,
+                    "key": key,
+                    "elapsed_seconds": entry.elapsed_seconds if entry else None,
+                    "created_unix": entry.provenance.get("created_unix") if entry else None,
+                    "size_bytes": path.stat().st_size if path.is_file() else 0,
+                }
+            )
+        return listing
+
+    def clear(self, artifact: str | None = None) -> int:
+        """Delete stored entries (optionally of one artifact); returns count."""
+        removed = 0
+        for _key, path in list(self.entries(artifact)):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - raced deletion
+                pass
+        return removed
+
+
+# -- active store -------------------------------------------------------------------
+#
+# Producer-module resolvers find the store through this process-wide slot:
+# the scheduler activates it around in-process executions, and workers
+# activate it from the store root shipped with their task.  When nothing is
+# active (direct driver calls, tests), resolvers compute inline.
+
+#: Sentinel for "nothing activated": fall through to ``$REPRO_ARTIFACTS_DIR``.
+#: Distinct from ``None``, which means *explicitly disabled* -- the no-reuse
+#: paths (``use_artifacts=False``, workers handed ``artifacts_root=None``)
+#: must stay reuse-free even when the environment variable is set.
+_INHERIT: object = object()
+
+_ACTIVE_STORE: ArtifactStore | None | object = _INHERIT
+
+
+def active_store() -> ArtifactStore | None:
+    """The store resolvers should use, or ``None`` to compute inline.
+
+    Priority: whatever ``activated`` installed (a store, or ``None`` for an
+    explicit no-reuse scope), else a store at ``$REPRO_ARTIFACTS_DIR`` when
+    that variable is set, else none.
+    """
+    if _ACTIVE_STORE is not _INHERIT:
+        return _ACTIVE_STORE
+    env = os.environ.get("REPRO_ARTIFACTS_DIR")
+    if env:
+        return ArtifactStore(env)
+    return None
+
+
+@contextlib.contextmanager
+def activated(store: ArtifactStore | None):
+    """Temporarily make ``store`` the active one (``None`` disables reuse).
+
+    Passing ``None`` is an explicit *no-store* scope: resolvers compute
+    inline even if ``$REPRO_ARTIFACTS_DIR`` is set, so no-reuse runs stay
+    genuinely reuse-free.
+    """
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = store
+    try:
+        yield store
+    finally:
+        _ACTIVE_STORE = previous
+
+
+def _artifact_provenance() -> dict[str, object]:
+    import platform
+
+    return {"created_unix": round(time.time(), 3), "python": platform.python_version()}
+
+
+def produce_into(
+    store: ArtifactStore,
+    artifact: str,
+    params: Mapping[str, object],
+    producer: Callable[..., object],
+    *,
+    key: str | None = None,
+    fingerprint: str | None = None,
+) -> ArtifactEntry:
+    """Compute one artifact (store active for nested resolvers) and persist it."""
+    if fingerprint is None:
+        fingerprint = code_fingerprint(producer.__module__)
+    if key is None:
+        key = artifact_key(artifact, params, fingerprint)
+    with activated(store):
+        start = time.perf_counter()
+        payload = producer(**dict(params))
+        elapsed = time.perf_counter() - start
+    entry = ArtifactEntry(
+        artifact=artifact,
+        params=dict(params),
+        fingerprint=fingerprint,
+        payload=payload,
+        elapsed_seconds=elapsed,
+        provenance=_artifact_provenance(),
+    )
+    store.put(key, entry)
+    return entry
+
+
+def resolve_artifact(
+    artifact: str,
+    params: Mapping[str, object],
+    *,
+    producer: Callable[..., object],
+) -> object:
+    """Load-or-compute one artifact through the active store.
+
+    With no active store the producer runs inline and nothing is persisted
+    -- results are bit-identical either way, because producers are
+    deterministic functions of their parameters.
+    """
+    store = active_store()
+    if store is None:
+        return producer(**dict(params))
+    fingerprint = code_fingerprint(producer.__module__)
+    key = artifact_key(artifact, params, fingerprint)
+    entry = store.get(artifact, key)
+    if entry is not None:
+        return entry.payload
+    return produce_into(
+        store, artifact, params, producer, key=key, fingerprint=fingerprint
+    ).payload
+
+
+# -- hit/miss statistics ------------------------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of the result cache and the artifact store.
+
+    Persisted as ``_stats.json`` under the shared cache root and reset by
+    ``python -m repro cache clear``.  Counters are recorded by the parent
+    process only (the scheduler's lookups), so concurrent workers never
+    race on the file.
+    """
+
+    result_hits: int = 0
+    result_misses: int = 0
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+
+    def to_document(self) -> dict[str, int]:
+        return {
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "artifact_hits": self.artifact_hits,
+            "artifact_misses": self.artifact_misses,
+        }
+
+    def add(self, other: "StoreStats") -> "StoreStats":
+        return StoreStats(
+            result_hits=self.result_hits + other.result_hits,
+            result_misses=self.result_misses + other.result_misses,
+            artifact_hits=self.artifact_hits + other.artifact_hits,
+            artifact_misses=self.artifact_misses + other.artifact_misses,
+        )
+
+
+def load_stats(root: Path | str) -> StoreStats:
+    """The persisted counters at ``root`` (zeros when absent/corrupt)."""
+    path = Path(root) / STATS_FILENAME
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return StoreStats()
+    if not isinstance(document, dict):
+        return StoreStats()
+    return StoreStats(
+        **{
+            name: int(document.get(name, 0))
+            for name in ("result_hits", "result_misses", "artifact_hits", "artifact_misses")
+            if isinstance(document.get(name, 0), int)
+        }
+    )
+
+
+def record_stats(root: Path | str, delta: StoreStats) -> StoreStats:
+    """Accumulate ``delta`` into the persisted counters; returns the new total."""
+    root = Path(root)
+    total = load_stats(root).add(delta)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / STATS_FILENAME
+    descriptor, temp_name = tempfile.mkstemp(dir=root, prefix=".stats-", suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(json.dumps(total.to_document(), indent=1))
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return total
+
+
+def reset_stats(root: Path | str) -> None:
+    """Delete the persisted counters (the next run starts from zero)."""
+    try:
+        (Path(root) / STATS_FILENAME).unlink()
+    except OSError:
+        pass

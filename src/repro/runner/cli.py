@@ -8,7 +8,8 @@ Subcommands
 ``report``  print the driver-formatted tables (from cache when warm)
 ``sweep``   Cartesian grid over one experiment's parameters, each cell a
             cache-aware run; rows are tagged with their grid coordinates
-``cache``   ``ls`` / ``clear`` the content-addressed result cache
+``cache``   ``ls`` / ``clear`` / ``stats`` over the content-addressed result
+            cache and artifact store (``clear`` resets the hit/miss counters)
 ``list``    show registered experiments and their parameter schemas
 
 This replaces the per-driver ``if __name__ == "__main__"`` entry points;
@@ -25,6 +26,7 @@ from pathlib import Path
 
 from ..analysis.reporting import format_table, to_csv
 from ..analysis.sweep import SweepResult, sweep_grid
+from .artifacts import ArtifactStore, load_stats, reset_stats
 from .cache import ResultCache, default_cache_root
 from .registry import ExperimentSpec
 from .service import ExperimentRunner, RunReport
@@ -97,13 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--out", metavar="PATH", default=None, help="write sweep records to PATH")
     _add_cache_arguments(sweep_parser)
 
-    cache_parser = subparsers.add_parser("cache", help="inspect/clear the result cache")
+    cache_parser = subparsers.add_parser("cache", help="inspect/clear the result cache and artifact store")
     cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
     cache_ls = cache_subparsers.add_parser("ls", help="list cached entries")
     _add_cache_arguments(cache_ls)
-    cache_clear = cache_subparsers.add_parser("clear", help="delete cached entries")
+    cache_clear = cache_subparsers.add_parser(
+        "clear", help="delete cached entries (and reset the hit/miss counters)"
+    )
     cache_clear.add_argument("--experiment", default=None, metavar="EXPERIMENT", help="only this experiment's entries")
     _add_cache_arguments(cache_clear)
+    cache_stats = cache_subparsers.add_parser(
+        "stats", help="entry counts, bytes and hit/miss counters since the last clear"
+    )
+    cache_stats.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    _add_cache_arguments(cache_stats)
 
     subparsers.add_parser("list", help="list experiments and their parameters")
     return parser
@@ -265,20 +274,73 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, object]:
+    """Entry counts, bytes and hit/miss counters of both stores."""
+    result_entries = cache.ls()
+    artifact_entries = store.ls()
+    counters = load_stats(cache.root)
+    return {
+        "cache_root": str(cache.root),
+        "results": {
+            "entries": len(result_entries),
+            "bytes": sum(int(entry["size_bytes"] or 0) for entry in result_entries),
+            "hits": counters.result_hits,
+            "misses": counters.result_misses,
+        },
+        "artifacts": {
+            "entries": len(artifact_entries),
+            "bytes": sum(int(entry["size_bytes"] or 0) for entry in artifact_entries),
+            "hits": counters.artifact_hits,
+            "misses": counters.artifact_misses,
+        },
+    }
+
+
 def _command_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir) if args.cache_dir else ResultCache()
+    store = ArtifactStore(cache.root / "artifacts")
     if args.cache_command == "ls":
         listing = cache.ls()
-        if not listing:
+        artifact_listing = store.ls()
+        if not listing and not artifact_listing:
             print(f"(cache empty at {cache.root})")
             return 0
-        print(format_table(listing, title=f"result cache at {cache.root}"))
+        if listing:
+            print(format_table(listing, title=f"result cache at {cache.root}"))
+        if artifact_listing:
+            print(format_table(artifact_listing, title=f"artifact store at {store.root}"))
+        return 0
+    if args.cache_command == "stats":
+        summary = _cache_stats_summary(cache, store)
+        if args.json:
+            print(json.dumps(summary, indent=1))
+            return 0
+        rows = [
+            {
+                "store": name,
+                "entries": section["entries"],
+                "bytes": section["bytes"],
+                "hits": section["hits"],
+                "misses": section["misses"],
+            }
+            for name, section in (("results", summary["results"]), ("artifacts", summary["artifacts"]))
+        ]
+        print(format_table(rows, title=f"cache stats at {cache.root} (counters since last clear)"))
         return 0
     try:
         removed = cache.clear(args.experiment)
     except ValueError as error:
         raise SystemExit(f"error: {error}")
-    print(f"removed {removed} cached result(s) from {cache.root}")
+    removed_artifacts = 0
+    if args.experiment is None:
+        # A full clear also empties the artifact store (artifacts are shared
+        # across experiments, so a per-experiment clear keeps them) and
+        # resets the hit/miss counters.
+        removed_artifacts = store.clear()
+        reset_stats(cache.root)
+    print(
+        f"removed {removed} cached result(s) and {removed_artifacts} artifact(s) from {cache.root}"
+    )
     return 0
 
 

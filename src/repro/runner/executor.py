@@ -1,6 +1,6 @@
-"""Process-parallel execution: sweep grids and experiment fan-out.
+"""Process-parallel execution: sweep grids, artifact waves and experiment fan-out.
 
-Two fan-out shapes live here:
+Three fan-out shapes live here:
 
 * :func:`parallel_sweep` -- the engine behind
   ``repro.analysis.parameter_sweep(jobs=N)``: the Cartesian grid is mapped
@@ -9,21 +9,45 @@ Two fan-out shapes live here:
   worker completion order.  Determinism inside each evaluation is the
   caller's contract (seeds travel in the parameters).
 
+* :func:`produce_artifacts` -- computes missing sub-experiment artifacts
+  (one worker per unit) and persists them into the content-addressed
+  :class:`~repro.runner.artifacts.ArtifactStore`; the service calls it once
+  per topological wave of the producer/consumer DAG.
+
 * :func:`execute_requests` -- runs ``(experiment, canonical config)``
   requests, one worker process each, used by the runner service and the CLI
   for ``--jobs N``.  Workers re-import the driver modules (fork or spawn both
-  work) and return sanitised rows plus the measured wall time.
+  work), activate the artifact store they were handed (so driver resolvers
+  hit the entries the artifact waves produced) and return sanitised rows
+  plus the measured wall time.
 
 Callables shipped to workers must be picklable, i.e. module-level.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Mapping
 
 from ..analysis.sweep import SweepResult, sweep_grid
+
+
+def _worker_count(jobs: int, tasks: int) -> int:
+    """Workers actually spawned: never more than tasks or available CPUs.
+
+    Oversubscribing a small machine makes things *slower* -- concurrent
+    producers thrash the caches (the precision-search workloads stream
+    hundred-megabyte weight matrices) -- so ``--jobs 4`` on a 1-core box
+    degrades to the serial in-process path while multi-core machines get
+    the full fan-out.
+    """
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or jobs
+    return min(jobs, tasks, max(1, cpus))
 
 
 def _evaluate_combination(
@@ -47,10 +71,11 @@ def parallel_sweep(
     """
     assignments = sweep_grid(parameters)
     tasks = [(evaluate, assignment) for assignment in assignments]
-    if jobs is None or jobs <= 1 or len(tasks) <= 1:
+    workers = _worker_count(jobs or 1, len(tasks))
+    if workers <= 1:
         outcomes = [_evaluate_combination(task) for task in tasks]
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(pool.map(_evaluate_combination, tasks))
     records = [
         {**assignment, **outcome} for assignment, outcome in zip(assignments, outcomes)
@@ -58,22 +83,69 @@ def parallel_sweep(
     return SweepResult(records=records)
 
 
+def _produce_artifact(
+    task: tuple[str, str, dict[str, object], str, str, str],
+) -> tuple[str, float]:
+    """Worker body: compute one artifact unit and persist it into the store.
+
+    The store is activated around the producer call so producers that
+    themselves resolve earlier-wave artifacts (``after`` dependencies) hit
+    the entries those waves already wrote.
+    """
+    from .artifacts import ArtifactStore, load_producer, produce_into
+
+    artifact, producer_path, params, key, fingerprint, store_root = task
+    store = ArtifactStore(store_root)
+    entry = produce_into(
+        store,
+        artifact,
+        params,
+        load_producer(producer_path),
+        key=key,
+        fingerprint=fingerprint,
+    )
+    return key, entry.elapsed_seconds
+
+
+def produce_artifacts(
+    tasks: list[tuple[str, str, dict[str, object], str, str, str]],
+    *,
+    jobs: int | None = None,
+) -> list[tuple[str, float]]:
+    """Produce artifact units (optionally in parallel); results in input order.
+
+    Each task is ``(artifact, producer path, params, key, fingerprint,
+    store root)``.  Units inside one call must be independent -- the service
+    slices the DAG into topological waves and makes one call per wave.
+    """
+    workers = _worker_count(jobs or 1, len(tasks))
+    if workers <= 1:
+        return [_produce_artifact(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_produce_artifact, tasks))
+
+
 def _execute_request(
-    task: tuple[str, dict[str, object]],
+    task: tuple[str, dict[str, object], str | None],
 ) -> tuple[list[dict[str, object]], float]:
     """Worker body: run one experiment with a canonical config.
 
     Imports happen here (inside the worker) so spawned processes build their
     own module state; rows are sanitised before crossing the process
-    boundary so the parent sees exactly what the cache would store.
+    boundary so the parent sees exactly what the cache would store.  The
+    artifact store root (``None`` = reuse disabled) is activated around the
+    run so driver resolvers load the pre-produced intermediates.
     """
+    from .artifacts import ArtifactStore, activated
     from .registry import build_registry
 
-    name, config = task
+    name, config, artifacts_root = task
     spec = build_registry()[name]
-    start = time.perf_counter()
-    rows = spec.execute(config)
-    elapsed = time.perf_counter() - start
+    store = ArtifactStore(artifacts_root) if artifacts_root is not None else None
+    with activated(store):
+        start = time.perf_counter()
+        rows = spec.execute(config)
+        elapsed = time.perf_counter() - start
     return SweepResult(records=rows).to_jsonable(), elapsed
 
 
@@ -81,9 +153,12 @@ def execute_requests(
     requests: list[tuple[str, dict[str, object]]],
     *,
     jobs: int | None = None,
+    artifacts_root: str | None = None,
 ) -> list[tuple[list[dict[str, object]], float]]:
     """Run experiment requests, optionally in parallel; results in input order."""
-    if jobs is None or jobs <= 1 or len(requests) <= 1:
-        return [_execute_request(request) for request in requests]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(requests))) as pool:
-        return list(pool.map(_execute_request, requests))
+    tasks = [(name, config, artifacts_root) for name, config in requests]
+    workers = _worker_count(jobs or 1, len(tasks))
+    if workers <= 1:
+        return [_execute_request(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_execute_request, tasks))

@@ -108,19 +108,35 @@ def _is_main_guard(node: ast.AST) -> bool:
     )
 
 
-def _walk_importable(tree: ast.AST):
-    """``ast.walk`` that skips ``__main__``-guard bodies.
+def _is_type_checking_guard(node: ast.AST) -> bool:
+    """``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` -- never runs.
 
-    Imports under the guard (e.g. the drivers' CLI shims) never execute when
-    the module is imported by the runner, so they must not contribute to the
-    fingerprint -- otherwise editing the CLI would invalidate every cached
-    experiment result.
+    ``typing.TYPE_CHECKING`` is ``False`` at runtime, so imports under the
+    guard exist only for annotations and cannot influence computed results;
+    counting them would couple consumers of a *type* to the implementation
+    module's whole closure.
+    """
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+def _walk_importable(tree: ast.AST):
+    """``ast.walk`` that skips ``__main__``-guard and ``TYPE_CHECKING`` bodies.
+
+    Imports under those guards (the drivers' CLI shims, annotation-only type
+    imports) never execute when the module is imported by the runner, so they
+    must not contribute to the fingerprint -- otherwise editing the CLI would
+    invalidate every cached experiment result.
     """
     pending = [tree]
     while pending:
         node = pending.pop()
         yield node
-        if _is_main_guard(node):
+        if _is_main_guard(node) or _is_type_checking_guard(node):
             pending.extend(node.orelse)  # the else branch *does* run on import
             continue
         pending.extend(ast.iter_child_nodes(node))

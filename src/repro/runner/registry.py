@@ -7,6 +7,12 @@ injection parameters its ``run()`` also accepts in ``OBJECT_PARAMS``
 (pre-built characterizations, chip models, ...).  Only ``PARAMS`` values
 participate in cache keys; passing an object parameter bypasses the cache.
 
+Drivers additionally declare the sub-experiment intermediates they consume
+in an ``ARTIFACTS`` mapping (see :class:`ArtifactBinding`): artifact name ->
+``(producer, params-subset)`` with optional scheduling options.  The runner
+service resolves those declarations into a producer/consumer DAG and fills
+the artifact store in topological waves before cold experiments execute.
+
 Canonicalization turns arbitrary override mixes into one normal form --
 defaults merged in, values type-coerced (lists become tuples where the
 default is a tuple), keys sorted -- so that semantically identical configs
@@ -21,6 +27,7 @@ import types
 from dataclasses import dataclass
 from typing import Mapping
 
+from .artifacts import load_producer
 from ..experiments import EXPERIMENTS
 
 
@@ -85,6 +92,106 @@ class ParamSpec:
 
 
 @dataclass(frozen=True)
+class ArtifactBinding:
+    """One declared sub-experiment artifact a driver consumes.
+
+    Attributes
+    ----------
+    name:
+        Global artifact name (drivers sharing a name with identical producer
+        and parameters share the stored entries).
+    producer:
+        ``"package.module:function"`` path of the module-level producer; its
+        module's import-closure fingerprint is part of the artifact key.
+    params:
+        Subset of the driver's ``PARAMS`` forwarded to the producer.
+    when:
+        Optional name of a bool parameter gating the artifact: it is only
+        produced for configs where that parameter is true.
+    after:
+        Artifact names (of the same driver) that must be produced first;
+        this is what gives the schedule its topological waves.
+    level:
+        Dependency depth derived from ``after`` (0 = no prerequisites).
+    """
+
+    name: str
+    producer: str
+    params: tuple[str, ...]
+    when: str | None = None
+    after: tuple[str, ...] = ()
+    level: int = 0
+
+
+def _parse_artifacts(
+    experiment: str, module: types.ModuleType, params: Mapping[str, ParamSpec]
+) -> dict[str, ArtifactBinding]:
+    """Validate and normalise a driver's ``ARTIFACTS`` declaration."""
+    declared = getattr(module, "ARTIFACTS", {})
+    bindings: dict[str, ArtifactBinding] = {}
+    for name, declaration in declared.items():
+        if not (isinstance(declaration, tuple) and len(declaration) in (2, 3)):
+            raise TypeError(
+                f"{experiment}: ARTIFACTS[{name!r}] must be (producer, params[, options])"
+            )
+        producer, subset = declaration[0], tuple(declaration[1])
+        options = dict(declaration[2]) if len(declaration) == 3 else {}
+        unknown_options = set(options) - {"when", "after"}
+        if unknown_options:
+            raise TypeError(
+                f"{experiment}: ARTIFACTS[{name!r}] has unknown option(s) {sorted(unknown_options)}"
+            )
+        missing = [pname for pname in subset if pname not in params]
+        if missing:
+            raise TypeError(
+                f"{experiment}: ARTIFACTS[{name!r}] names undeclared parameter(s) {missing}"
+            )
+        when = options.get("when")
+        if when is not None and (when not in params or params[when].type is not bool):
+            raise TypeError(
+                f"{experiment}: ARTIFACTS[{name!r}] 'when' must name a bool parameter"
+            )
+        load_producer(producer)  # fails fast on unimportable producers
+        bindings[name] = ArtifactBinding(
+            name=name,
+            producer=producer,
+            params=subset,
+            when=when,
+            after=tuple(options.get("after", ())),
+        )
+    # Resolve `after` references into dependency levels (topological depth).
+    levels: dict[str, int] = {}
+
+    def level_of(name: str, trail: tuple[str, ...] = ()) -> int:
+        if name in trail:
+            raise TypeError(f"{experiment}: ARTIFACTS dependency cycle through {name!r}")
+        if name not in bindings:
+            raise TypeError(f"{experiment}: ARTIFACTS 'after' names unknown artifact {name!r}")
+        if name not in levels:
+            binding = bindings[name]
+            levels[name] = (
+                1 + max(level_of(dep, trail + (name,)) for dep in binding.after)
+                if binding.after
+                else 0
+            )
+        return levels[name]
+
+    for name in bindings:
+        level_of(name)
+    return {
+        name: ArtifactBinding(
+            name=binding.name,
+            producer=binding.producer,
+            params=binding.params,
+            when=binding.when,
+            after=binding.after,
+            level=levels[name],
+        )
+        for name, binding in bindings.items()
+    }
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One registered experiment: driver module + declared parameter schema."""
 
@@ -92,6 +199,7 @@ class ExperimentSpec:
     module: types.ModuleType
     params: Mapping[str, ParamSpec]
     object_params: frozenset[str]
+    artifacts: Mapping[str, ArtifactBinding]
 
     @classmethod
     def from_module(cls, name: str, module: types.ModuleType) -> "ExperimentSpec":
@@ -101,7 +209,13 @@ class ExperimentSpec:
             for pname, default in declared.items()
         }
         object_params = frozenset(getattr(module, "OBJECT_PARAMS", ()))
-        spec = cls(name=name, module=module, params=params, object_params=object_params)
+        spec = cls(
+            name=name,
+            module=module,
+            params=params,
+            object_params=object_params,
+            artifacts=_parse_artifacts(name, module, params),
+        )
         spec._check_against_signature()
         return spec
 

@@ -1,11 +1,25 @@
-"""The experiment runner: cache-aware, parallel experiment execution.
+"""The experiment runner: cache-aware, artifact-aware parallel execution.
 
 :class:`ExperimentRunner` is the one code path behind ``python -m repro``,
 the benchmarks and the examples: it canonicalises the requested config,
 computes the content address (config + code fingerprint), replays from the
 :class:`~repro.runner.cache.ResultCache` on a hit and executes + stores on a
-miss.  Multi-experiment requests fan cold runs out over worker processes
-while warm ones replay instantly from disk.
+miss.
+
+Cold runs go through the cross-experiment artifact graph first: every
+driver's declared ``ARTIFACTS`` (see
+:class:`~repro.runner.registry.ArtifactBinding`) are resolved to
+content-addressed units, deduplicated across the request batch, and the
+missing ones are produced over worker processes in topological waves --
+the shared multiplier characterisation is computed exactly once per cold
+``run all``, and fig6's trained LeNet, its precision profile (a second
+wave) and the AlexNet profile are produced through the incremental search
+producers.  The experiments themselves then fan out with the store
+active, so their resolvers replay the intermediates instead of
+recomputing them.  Reports stay in request order and rows stay
+bit-identical to a serial no-reuse run -- producers are deterministic
+functions of their parameters and the incremental search is gated
+bit-identical to the full-forward reference.
 
 Cached and live paths return identical (sanitised) rows, so downstream
 rendering/export code never needs to know which path produced them.
@@ -18,8 +32,9 @@ import time
 from dataclasses import dataclass
 from typing import Mapping
 
+from .artifacts import ArtifactStore, StoreStats, artifact_key, record_stats
 from .cache import CacheEntry, ResultCache, cache_key, run_provenance
-from .executor import execute_requests
+from .executor import execute_requests, produce_artifacts
 from .fingerprint import code_fingerprint
 from .registry import ExperimentSpec, build_registry
 from ..analysis.sweep import SweepResult
@@ -49,8 +64,37 @@ class RunReport:
         return SweepResult(records=self.rows)
 
 
+@dataclass(frozen=True)
+class ArtifactUnit:
+    """One producible unit of the deduplicated artifact plan."""
+
+    artifact: str
+    producer: str
+    params: tuple[tuple[str, object], ...]
+    key: str
+    fingerprint: str
+    level: int
+
+    def task(self, store_root: str) -> tuple[str, str, dict[str, object], str, str, str]:
+        return (
+            self.artifact,
+            self.producer,
+            dict(self.params),
+            self.key,
+            self.fingerprint,
+            store_root,
+        )
+
+
 class ExperimentRunner:
-    """Unified, cache-aware front end over the experiment registry."""
+    """Unified, cache-aware front end over the experiment registry.
+
+    ``use_artifacts`` controls the cross-experiment artifact graph; it
+    defaults to ``use_cache`` so ``--no-cache`` style runs stay genuinely
+    reuse-free unless artifacts are enabled explicitly.  The store defaults
+    to ``<cache root>/artifacts`` so isolated cache directories (tests,
+    benchmarks) isolate their artifacts too.
+    """
 
     def __init__(
         self,
@@ -58,10 +102,16 @@ class ExperimentRunner:
         cache: ResultCache | None = None,
         use_cache: bool = True,
         registry: Mapping[str, ExperimentSpec] | None = None,
+        artifacts: ArtifactStore | None = None,
+        use_artifacts: bool | None = None,
     ):
         self.registry = dict(registry) if registry is not None else build_registry()
         self.cache = cache if cache is not None else ResultCache()
         self.use_cache = use_cache
+        self.artifacts = (
+            artifacts if artifacts is not None else ArtifactStore(self.cache.root / "artifacts")
+        )
+        self.use_artifacts = use_cache if use_artifacts is None else use_artifacts
 
     def spec(self, name: str) -> ExperimentSpec:
         try:
@@ -92,6 +142,59 @@ class ExperimentRunner:
             )
         return self.run_many([(name, dict(overrides))])[0]
 
+    # -- artifact graph ---------------------------------------------------------
+
+    def _plan_artifacts(
+        self, cold: list[tuple[str, dict[str, object]]]
+    ) -> list[ArtifactUnit]:
+        """Deduplicated artifact units the cold requests need, plan order.
+
+        Units are keyed like the result cache: artifact name + canonical
+        params + the *producer's* code fingerprint.  Identical units required
+        by several experiments collapse onto one entry -- that is the
+        cross-experiment reuse.
+        """
+        units: dict[str, ArtifactUnit] = {}
+        fingerprints: dict[str, str] = {}
+        for name, config in cold:
+            spec = self.spec(name)
+            for binding in spec.artifacts.values():
+                if binding.when is not None and not config.get(binding.when):
+                    continue
+                params = {pname: config[pname] for pname in binding.params}
+                if binding.producer not in fingerprints:
+                    module_name = binding.producer.partition(":")[0]
+                    fingerprints[binding.producer] = code_fingerprint(module_name)
+                fingerprint = fingerprints[binding.producer]
+                key = artifact_key(binding.name, params, fingerprint)
+                if key not in units:
+                    units[key] = ArtifactUnit(
+                        artifact=binding.name,
+                        producer=binding.producer,
+                        params=tuple(params.items()),
+                        key=key,
+                        fingerprint=fingerprint,
+                        level=binding.level,
+                    )
+        return list(units.values())
+
+    def _ensure_artifacts(
+        self, units: list[ArtifactUnit], *, jobs: int | None
+    ) -> StoreStats:
+        """Produce the missing units, one wave per topological level."""
+        stats = StoreStats()
+        store_root = str(self.artifacts.root)
+        for level in sorted({unit.level for unit in units}):
+            wave = [unit for unit in units if unit.level == level]
+            missing = [unit for unit in wave if not self.artifacts.exists(unit.artifact, unit.key)]
+            stats.artifact_hits += len(wave) - len(missing)
+            stats.artifact_misses += len(missing)
+            if missing:
+                produce_artifacts([unit.task(store_root) for unit in missing], jobs=jobs)
+        return stats
+
+    # -- experiment execution ----------------------------------------------------
+
     def run_many(
         self,
         requests: list[tuple[str, dict[str, object]]],
@@ -101,8 +204,8 @@ class ExperimentRunner:
         """Run ``(name, overrides)`` requests; cold ones fan out over ``jobs``.
 
         Reports come back in request order.  Cache lookups happen up front in
-        the parent, executions in workers, cache writes back in the parent --
-        a single writer keeps the on-disk store simple.
+        the parent, artifact waves and executions in workers, cache writes
+        back in the parent -- a single writer keeps the on-disk store simple.
         """
         prepared: list[RunReport | None] = []
         cold: list[tuple[int, str, dict[str, object], str]] = []
@@ -138,9 +241,22 @@ class ExperimentRunner:
                 else:
                     cold_position[key] = len(cold)
                     cold.append((index, name, config, key))
+        stats = StoreStats(
+            result_hits=sum(1 for report in prepared if report is not None),
+            result_misses=len(cold) + len(duplicates),
+        ) if self.use_cache else StoreStats()
         if cold:
+            artifacts_root: str | None = None
+            if self.use_artifacts:
+                units = self._plan_artifacts(
+                    [(name, config) for _index, name, config, _key in cold]
+                )
+                stats = stats.add(self._ensure_artifacts(units, jobs=jobs))
+                artifacts_root = str(self.artifacts.root)
             outcomes = execute_requests(
-                [(name, config) for _index, name, config, _key in cold], jobs=jobs
+                [(name, config) for _index, name, config, _key in cold],
+                jobs=jobs,
+                artifacts_root=artifacts_root,
             )
             for (index, name, config, key), (rows, elapsed) in zip(cold, outcomes):
                 spec = self.spec(name)
@@ -178,6 +294,8 @@ class ExperimentRunner:
                     key=source.key,
                     fingerprint=source.fingerprint,
                 )
+        if self.use_cache or self.use_artifacts:
+            record_stats(self.cache.root, stats)
         return [report for report in prepared if report is not None]
 
     def run_all(self, *, jobs: int | None = None) -> list[RunReport]:

@@ -326,9 +326,9 @@ class TestExperimentRunner:
         executed: list[int] = []
         real_execute = service_module.execute_requests
 
-        def counting_execute(requests, *, jobs=None):
+        def counting_execute(requests, *, jobs=None, artifacts_root=None):
             executed.append(len(requests))
-            return real_execute(requests, jobs=jobs)
+            return real_execute(requests, jobs=jobs, artifacts_root=artifacts_root)
 
         monkeypatch.setattr(service_module, "execute_requests", counting_execute)
         reports = runner.run_many(
