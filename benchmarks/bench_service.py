@@ -1,0 +1,123 @@
+"""Benchmark for the HTTP service: concurrent warm-path latency (PR 6 gate).
+
+The service's warm path must stay an HTTP-thin veneer over the result
+cache: 32 concurrent ``POST /v1/experiments/table1/run`` requests against
+a warm cache must all answer bit-identically, with an end-to-end p50
+latency within 10x of replaying the *same* 32-way concurrent workload
+directly in-process (threads calling ``ExperimentRunner.run``).  Both
+paths share the GIL-serialised cache decode, so the ratio isolates what
+the HTTP transport and middleware pipeline add on top.  The measured
+numbers land in ``BENCH_TRAJECTORY.json`` as BENCH_PR6.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import tempfile
+import threading
+import time
+
+from repro.runner import ExperimentRunner, ResultCache
+from repro.service import BackgroundServer, build_app
+
+EXPERIMENT = "table1"
+PARAMS = {"samples": 60, "seed": 11}
+CONCURRENCY = 32
+GATE = 10.0
+
+
+def _direct_warm_median(runner: ExperimentRunner) -> float:
+    """Median per-call seconds of a CONCURRENCY-way in-process warm replay.
+
+    The same workload the service gets, minus HTTP: CONCURRENCY threads
+    released by a barrier, each calling the runner's warm path once.
+    """
+    timings = [0.0] * CONCURRENCY
+    barrier = threading.Barrier(CONCURRENCY)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        start = time.perf_counter()
+        report = runner.run(EXPERIMENT, **PARAMS)
+        timings[index] = time.perf_counter() - start
+        assert report.cached is True
+
+    threads = [threading.Thread(target=worker, args=(index,)) for index in range(CONCURRENCY)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return statistics.median(timings)
+
+
+def _concurrent_warm_requests(port: int) -> tuple[list[float], list[str]]:
+    """Fire CONCURRENCY simultaneous warm POSTs; per-request latencies + bodies."""
+    timings: list[float] = [0.0] * CONCURRENCY
+    bodies: list[str] = [""] * CONCURRENCY
+    barrier = threading.Barrier(CONCURRENCY)
+    payload = json.dumps({"params": PARAMS})
+
+    def worker(index: int) -> None:
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+        barrier.wait()
+        start = time.perf_counter()
+        conn.request(
+            "POST",
+            f"/v1/experiments/{EXPERIMENT}/run",
+            body=payload,
+            headers={"X-Request-Id": "bench-warm"},
+        )
+        response = conn.getresponse()
+        document = json.loads(response.read())
+        timings[index] = time.perf_counter() - start
+        assert response.status == 200, document
+        document.pop("elapsed_seconds")  # per-request lookup time; everything else is cached
+        bodies[index] = json.dumps(document, sort_keys=True)
+        conn.close()
+
+    threads = [threading.Thread(target=worker, args=(index,)) for index in range(CONCURRENCY)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return timings, bodies
+
+
+def test_concurrent_warm_latency_gate(benchmark, trajectory):
+    """32-way concurrent warm hits: bit-identical bodies, p50 <= 10x direct."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache_dir:
+        runner = ExperimentRunner(cache=ResultCache(cache_dir))
+        cold = runner.run(EXPERIMENT, **PARAMS)  # populate the cache once
+        assert cold.cached is False
+        # Best-of-three on both sides to shed scheduler noise, mirroring
+        # the warm-timing convention of the earlier gates.
+        direct_median = min(_direct_warm_median(runner) for _ in range(3))
+
+        with BackgroundServer(build_app(runner)) as server:
+            p50 = float("inf")
+            for _ in range(3):
+                timings, bodies = _concurrent_warm_requests(server.port)
+                assert len(set(bodies)) == 1  # all 32 responses byte-identical
+                assert json.loads(bodies[0])["rows"] == cold.to_jsonable()["rows"]
+                p50 = min(p50, statistics.median(timings))
+
+            ratio = p50 / direct_median
+            print(
+                f"\nservice warm p50: {p50 * 1e3:.2f} ms over {CONCURRENCY} concurrent requests "
+                f"(direct warm replay {direct_median * 1e3:.2f} ms, ratio {ratio:.1f}x, gate {GATE}x)"
+            )
+            benchmark.extra_info["BENCH_PR6"] = {
+                "experiment": EXPERIMENT,
+                "concurrency": CONCURRENCY,
+                "service_p50_ms": round(p50 * 1e3, 3),
+                "direct_warm_ms": round(direct_median * 1e3, 3),
+                "ratio": round(ratio, 2),
+                "gate": GATE,
+            }
+            trajectory("BENCH_PR6", benchmark.extra_info["BENCH_PR6"])
+            benchmark.pedantic(
+                lambda: _concurrent_warm_requests(server.port), rounds=3, iterations=1
+            )
+            assert ratio <= GATE

@@ -31,9 +31,16 @@ Subpackages
 ``repro.runner``
     Experiment orchestration: typed registry, content-addressed result
     cache, process-parallel execution and the ``python -m repro`` CLI.
+``repro.api``
+    The stable public facade (``run``/``run_all``/``sweep``/``serve``/
+    ``list_experiments`` plus the typed error taxonomy) that both the CLI
+    and the HTTP service are thin renderers over.
+``repro.service``
+    The stdlib-only HTTP/JSON service behind ``python -m repro serve``.
 """
 
 from . import analysis, arithmetic, circuit, core, envision, experiments, nn, runner, simd
+from . import api
 from .arithmetic import BoothWallaceMultiplier, MacUnit, SubwordParallelMultiplier
 from .circuit import TECH_28NM_FDSOI, TECH_40NM_LP_LVT, Technology
 from .core import (
@@ -53,6 +60,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "analysis",
+    "api",
     "arithmetic",
     "circuit",
     "core",

@@ -1,6 +1,15 @@
 """``python -m repro`` -- unified entry point for the reproduction."""
 
-from .runner.cli import main
+import sys
+
+from .runner.cli import CliError, main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except CliError as error:
+        # CliError carries an integer exit code (2 usage / 3 validation /
+        # 4 execution), so the interpreter would exit silently; print the
+        # message ourselves before letting the code through.
+        print(error, file=sys.stderr)
+        raise

@@ -15,6 +15,8 @@ The runner unifies how the reproduction executes (PR 3, extended in PR 5):
   fan-out with deterministic record ordering;
 * :mod:`repro.runner.service` -- the cache- and artifact-aware
   :class:`ExperimentRunner` scheduling cold runs as topological DAG waves;
+* :mod:`repro.runner.errors` -- the :class:`ReproError` taxonomy with
+  stable ``code`` fields shared by the CLI and the HTTP service;
 * :mod:`repro.runner.cli` -- the ``python -m repro`` entry point.
 """
 
@@ -32,11 +34,20 @@ from .artifacts import (
     resolve_artifact,
 )
 from .cache import CacheEntry, ResultCache, cache_key, default_cache_root
-from .cli import main
+from .cli import CliError, main
+from .errors import (
+    ExecutionError,
+    ParamError,
+    ParamTypeError,
+    ParamValueError,
+    ReproError,
+    UnknownExperimentError,
+    UnknownParamError,
+)
 from .executor import execute_requests, parallel_sweep, produce_artifacts
 from .fingerprint import code_fingerprint, module_closure
 from .registry import ArtifactBinding, ExperimentSpec, ParamSpec, build_registry
-from .service import ArtifactUnit, ExperimentRunner, RunReport
+from .service import ArtifactUnit, ExperimentRunner, Observer, RunReport
 
 __all__ = [
     "ArtifactBinding",
@@ -66,5 +77,14 @@ __all__ = [
     "ParamSpec",
     "build_registry",
     "ExperimentRunner",
+    "Observer",
     "RunReport",
+    "CliError",
+    "ExecutionError",
+    "ParamError",
+    "ParamTypeError",
+    "ParamValueError",
+    "ReproError",
+    "UnknownExperimentError",
+    "UnknownParamError",
 ]

@@ -8,9 +8,15 @@ Subcommands
 ``report``  print the driver-formatted tables (from cache when warm)
 ``sweep``   Cartesian grid over one experiment's parameters, each cell a
             cache-aware run; rows are tagged with their grid coordinates
+``serve``   the HTTP/JSON service over the same runner (``repro.api.serve``)
 ``cache``   ``ls`` / ``clear`` / ``stats`` over the content-addressed result
             cache and artifact store (``clear`` resets the hit/miss counters)
 ``list``    show registered experiments and their parameter schemas
+
+The CLI is a thin renderer over :mod:`repro.api`, so validation and the
+error taxonomy are shared with the HTTP service.  Exit codes are stable:
+2 for usage errors (argparse included), 3 for parameter/experiment
+validation failures, 4 for execution failures.
 
 This replaces the per-driver ``if __name__ == "__main__"`` entry points;
 ``python -m repro.experiments.fig4`` still works and routes here.
@@ -25,11 +31,37 @@ import time
 from pathlib import Path
 
 from ..analysis.reporting import format_table, to_csv
-from ..analysis.sweep import SweepResult, sweep_grid
 from .artifacts import ArtifactStore, load_stats, reset_stats
 from .cache import ResultCache, default_cache_root
+from .errors import ExecutionError, ParamError, ReproError, UnknownExperimentError
 from .registry import ExperimentSpec
 from .service import ExperimentRunner, RunReport
+
+#: Stable exit codes (usage errors / validation failures / execution failures).
+USAGE_EXIT, VALIDATION_EXIT, EXECUTION_EXIT = 2, 3, 4
+
+
+class CliError(SystemExit):
+    """A clean CLI failure: carries the message *and* a stable exit code.
+
+    Subclasses :class:`SystemExit` so ``pytest.raises(SystemExit,
+    match=...)`` keeps matching the message text, while ``__main__``
+    prints it and exits with :attr:`code`.
+    """
+
+    def __init__(self, message: str, *, code: int = USAGE_EXIT):
+        super().__init__(code)
+        self.message = message
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _api():
+    """The facade, imported late so ``repro.runner`` can finish initialising."""
+    from .. import api
+
+    return api
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -71,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser("run", help="execute experiments and export their rows")
     _add_run_arguments(run_parser)
     output_format = run_parser.add_mutually_exclusive_group()
-    output_format.add_argument("--json", action="store_true", help="emit rows as JSON")
+    output_format.add_argument("--json", action="store_true", help="emit run reports as JSON")
     output_format.add_argument("--csv", action="store_true", help="emit rows as CSV")
     run_parser.add_argument("--out", metavar="DIR", default=None, help="write one rows file per experiment into DIR")
     run_parser.add_argument(
@@ -98,6 +130,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_format.add_argument("--csv", action="store_true")
     sweep_parser.add_argument("--out", metavar="PATH", default=None, help="write sweep records to PATH")
     _add_cache_arguments(sweep_parser)
+
+    serve_parser = subparsers.add_parser("serve", help="serve the reproduction over HTTP (JSON API)")
+    serve_parser.add_argument("--host", default="127.0.0.1", metavar="HOST", help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8080, metavar="PORT", help="bind port (default 8080)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N", help="worker processes available to background jobs"
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="requests/second allowed per client (0 = unlimited)",
+    )
+    serve_parser.add_argument(
+        "--rate-burst", type=int, default=None, metavar="N", help="rate-limiter burst capacity (default 2*R)"
+    )
+    _add_cache_arguments(serve_parser)
 
     cache_parser = subparsers.add_parser("cache", help="inspect/clear the result cache and artifact store")
     cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
@@ -128,10 +178,7 @@ def _resolve_targets(runner: ExperimentRunner, targets: list[str]) -> list[str]:
     if targets == ["all"] or targets == []:
         return list(runner.registry)
     for name in targets:
-        try:
-            runner.spec(name)
-        except KeyError as error:
-            raise SystemExit(f"error: {error.args[0]}")
+        runner.spec(name)  # raises UnknownExperimentError -> exit 3
     return targets
 
 
@@ -140,25 +187,15 @@ def _parse_pairs(pairs: list[str], *, what: str) -> dict[str, str]:
     for pair in pairs:
         key, separator, value = pair.partition("=")
         if not separator or not key:
-            raise SystemExit(f"error: {what} {pair!r} is not KEY=VALUE")
+            raise CliError(f"error: {what} {pair!r} is not KEY=VALUE")
         parsed[key] = value
     return parsed
 
 
-def _parse_typed_value(spec: ExperimentSpec, key: str, text: str) -> object:
-    """One CLI value parsed against the experiment's schema; clean exit on misuse."""
-    if key not in spec.params:
-        known = ", ".join(sorted(spec.params)) or "(none)"
-        raise SystemExit(f"error: {spec.name} has no parameter {key!r}; known: {known}")
-    try:
-        return spec.params[key].parse(text)
-    except ValueError as error:
-        raise SystemExit(f"error: parameter {key!r}: {error}")
-
-
 def _typed_overrides(spec: ExperimentSpec, pairs: list[str]) -> dict[str, object]:
+    parse_param = _api().parse_param
     return {
-        key: _parse_typed_value(spec, key, text)
+        key: parse_param(spec, key, text)
         for key, text in _parse_pairs(pairs, what="--param").items()
     }
 
@@ -166,11 +203,11 @@ def _typed_overrides(spec: ExperimentSpec, pairs: list[str]) -> dict[str, object
 def _collect_reports(runner: ExperimentRunner, args: argparse.Namespace) -> list[RunReport]:
     targets = _resolve_targets(runner, args.targets)
     if args.param and len(targets) != 1:
-        raise SystemExit("error: --param requires exactly one experiment target")
+        raise CliError("error: --param requires exactly one experiment target")
     if getattr(args, "csv", False) and not args.out and len(targets) != 1:
-        raise SystemExit("error: --csv to stdout requires exactly one experiment (or use --out DIR)")
+        raise CliError("error: --csv to stdout requires exactly one experiment (or use --out DIR)")
     overrides = _typed_overrides(runner.spec(targets[0]), args.param) if args.param else {}
-    return runner.run_many([(name, dict(overrides)) for name in targets], jobs=args.jobs)
+    return _api().run_all(targets, overrides or None, runner=runner, jobs=args.jobs)
 
 
 def _write_timing_json(path: str, reports: list[RunReport], *, jobs: int, total_seconds: float) -> None:
@@ -208,7 +245,9 @@ def _command_run(args: argparse.Namespace) -> int:
             payload = to_csv(report.rows) if args.csv else report.result.to_json(indent=1)
             (out_dir / f"{report.name}.{extension}").write_text(payload)
     elif args.json:
-        print(json.dumps({report.name: report.result.to_jsonable() for report in reports}, indent=1))
+        # The same document the HTTP service serves for a warm hit, so the
+        # two entry points can be diffed byte-for-byte (rows and all).
+        print(json.dumps({report.name: report.to_jsonable() for report in reports}, indent=1))
     elif args.csv:
         sys.stdout.write(to_csv(reports[0].rows))  # single target enforced up front
     summary_rows = [
@@ -234,44 +273,48 @@ def _command_report(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    api = _api()
     runner = _make_runner(args)
     spec = runner.spec(args.experiment)
     grid: dict[str, list[object]] = {}
     for key, text in _parse_pairs(args.grid, what="--grid").items():
         if key in spec.params and spec.params[key].type is tuple:
-            raise SystemExit(f"error: tuple-typed parameter {key!r} cannot be grid-swept from the CLI")
-        values = [
-            _parse_typed_value(spec, key, part) for part in text.split(",") if part.strip()
-        ]
+            raise CliError(
+                f"error: tuple-typed parameter {key!r} cannot be grid-swept from the CLI",
+                code=VALIDATION_EXIT,
+            )
+        values = [api.parse_param(spec, key, part) for part in text.split(",") if part.strip()]
         if not values:
-            raise SystemExit(f"error: --grid {key}= names no values")
+            raise CliError(f"error: --grid {key}= names no values")
         grid[key] = values
     fixed = _typed_overrides(spec, args.param)
-    overlap = set(grid) & set(fixed)
-    if overlap:
-        raise SystemExit(f"error: {sorted(overlap)} appear in both --grid and --param")
-    assignments = sweep_grid(grid)
-    reports = runner.run_many(
-        [(spec.name, {**fixed, **assignment}) for assignment in assignments], jobs=args.jobs
-    )
-    records = [
-        {**assignment, **row}
-        for assignment, report in zip(assignments, reports)
-        for row in report.rows
-    ]
-    result = SweepResult(records=records)
+    outcome = api.sweep(spec.name, grid, fixed, runner=runner, jobs=args.jobs)
+    records = outcome.records
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
-        Path(args.out).write_text(to_csv(records) if args.csv else result.to_json(indent=1))
+        Path(args.out).write_text(to_csv(records) if args.csv else outcome.result.to_json(indent=1))
     elif args.csv:
         sys.stdout.write(to_csv(records))
     elif args.json:
-        print(result.to_json(indent=1))
+        print(json.dumps(outcome.to_jsonable(), indent=1))
     else:
         print(format_table(records, title=f"sweep {spec.name}: {' x '.join(grid)}"))
-    cached = sum(1 for report in reports if report.cached)
-    print(f"{len(assignments)} grid cells ({cached} cached), {len(records)} records", file=sys.stderr)
+    print(
+        f"{len(outcome.assignments)} grid cells ({outcome.cached_cells} cached), {len(records)} records",
+        file=sys.stderr,
+    )
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    return _api().serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+    )
 
 
 def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, object]:
@@ -330,7 +373,7 @@ def _command_cache(args: argparse.Namespace) -> int:
     try:
         removed = cache.clear(args.experiment)
     except ValueError as error:
-        raise SystemExit(f"error: {error}")
+        raise CliError(f"error: {error}", code=VALIDATION_EXIT)
     removed_artifacts = 0
     if args.experiment is None:
         # A full clear also empties the artifact store (artifacts are shared
@@ -362,11 +405,25 @@ def main(argv: list[str] | None = None) -> int:
         "run": _command_run,
         "report": _command_report,
         "sweep": _command_sweep,
+        "serve": _command_serve,
         "cache": _command_cache,
         "list": _command_list,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except CliError:
+        raise
+    except (ParamError, UnknownExperimentError) as error:
+        raise CliError(f"error: {error}", code=VALIDATION_EXIT) from error
+    except ExecutionError as error:
+        raise CliError(f"error: {error}", code=EXECUTION_EXIT) from error
+    except ReproError as error:  # taxonomy catch-all: treat as execution failure
+        raise CliError(f"error: {error}", code=EXECUTION_EXIT) from error
 
 
 if __name__ == "__main__":  # pragma: no cover
-    raise SystemExit(main())
+    try:
+        raise SystemExit(main())
+    except CliError as error:
+        print(error, file=sys.stderr)
+        raise

@@ -1,0 +1,83 @@
+"""Typed error taxonomy shared by the registry, the CLI and the HTTP service.
+
+Every user-facing failure mode of the orchestration layer maps onto one
+:class:`ReproError` subclass carrying a stable machine-readable ``code``.
+The three front ends render the same exception three ways:
+
+* the Python facade (:mod:`repro.api`) lets them propagate as-is;
+* the CLI prints the message and exits with a distinct status
+  (usage 2, validation 3, execution 4);
+* the HTTP service serialises them as structured JSON error bodies
+  (``{"error": {"code": ..., "param": ..., "expected": ...}}``).
+
+Parameter errors additionally subclass the builtin exception a pre-facade
+caller would have seen (``KeyError`` for unknown names, ``TypeError`` for
+type mismatches, ``ValueError`` for unparsable text), so existing
+``except``/test code keeps working while new code can catch the single
+:class:`ParamError` base.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base of every typed error raised by the public API surface.
+
+    ``code`` is a stable machine-readable identifier; subclasses override
+    it and the HTTP layer echoes it verbatim in error bodies.
+    """
+
+    code: str = "error"
+
+    def __str__(self) -> str:  # KeyError subclasses would otherwise repr() the message
+        return self.args[0] if self.args else self.__class__.__name__
+
+
+class ParamError(ReproError):
+    """A parameter failed validation against an experiment's ``PARAMS`` schema.
+
+    Attributes
+    ----------
+    param:
+        The offending parameter name (``None`` when the failure is not
+        attributable to a single parameter).
+    expected:
+        Human-readable description of what would have been accepted.
+    """
+
+    code = "invalid_param"
+
+    def __init__(self, message: str, *, param: str | None = None, expected: str | None = None):
+        super().__init__(message)
+        self.param = param
+        self.expected = expected
+
+
+class UnknownParamError(ParamError, KeyError):
+    """An override names a parameter the experiment does not declare."""
+
+    code = "unknown_param"
+
+
+class ParamTypeError(ParamError, TypeError):
+    """An override value has the wrong type for its declared parameter."""
+
+    code = "invalid_type"
+
+
+class ParamValueError(ParamError, ValueError):
+    """A textual parameter value (CLI/query form) cannot be parsed."""
+
+    code = "invalid_value"
+
+
+class UnknownExperimentError(ReproError, KeyError):
+    """A request names an experiment that is not in the registry."""
+
+    code = "unknown_experiment"
+
+
+class ExecutionError(ReproError):
+    """An experiment driver raised while computing; the cause is chained."""
+
+    code = "execution_error"

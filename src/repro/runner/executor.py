@@ -127,6 +127,7 @@ def produce_artifacts(
 
 def _execute_request(
     task: tuple[str, dict[str, object], str | None],
+    registry: Mapping[str, object] | None = None,
 ) -> tuple[list[dict[str, object]], float]:
     """Worker body: run one experiment with a canonical config.
 
@@ -140,7 +141,7 @@ def _execute_request(
     from .registry import build_registry
 
     name, config, artifacts_root = task
-    spec = build_registry()[name]
+    spec = (registry if registry is not None else build_registry())[name]
     store = ArtifactStore(artifacts_root) if artifacts_root is not None else None
     with activated(store):
         start = time.perf_counter()
@@ -154,11 +155,19 @@ def execute_requests(
     *,
     jobs: int | None = None,
     artifacts_root: str | None = None,
+    registry: Mapping[str, object] | None = None,
 ) -> list[tuple[list[dict[str, object]], float]]:
-    """Run experiment requests, optionally in parallel; results in input order."""
+    """Run experiment requests, optionally in parallel; results in input order.
+
+    ``registry`` (when given) resolves specs on the inline path, so runners
+    with injected registries (tests, embedders) can execute experiments that
+    ``build_registry`` does not know about.  Worker processes always rebuild
+    the canonical registry -- custom specs are not shipped across the
+    process boundary.
+    """
     tasks = [(name, config, artifacts_root) for name, config in requests]
     workers = _worker_count(jobs or 1, len(tasks))
     if workers <= 1:
-        return [_execute_request(task) for task in tasks]
+        return [_execute_request(task, registry) for task in tasks]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return list(pool.map(_execute_request, tasks))

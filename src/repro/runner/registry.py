@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from .artifacts import load_producer
+from .errors import ParamTypeError, ParamValueError, UnknownParamError
 from ..experiments import EXPERIMENTS
 
 
@@ -39,51 +40,85 @@ class ParamSpec:
     type: type
     default: object
 
+    def describe(self) -> str:
+        """Human/HTTP-facing name of the accepted type (``"tuple[int]"`` etc.)."""
+        if self.type is tuple:
+            item_type = type(self.default[0]) if self.default else int
+            return f"tuple[{item_type.__name__}]"
+        return self.type.__name__
+
+    def _reject(self, value: object) -> ParamTypeError:
+        return ParamTypeError(
+            f"parameter {self.name!r} expects {self.describe()}, got {value!r}",
+            param=self.name,
+            expected=self.describe(),
+        )
+
     def coerce(self, value: object) -> object:
         """Validate/coerce one override to the declared type.
 
         Accepted coercions: ``int -> float`` and ``list -> tuple`` (with
         per-item coercion to the default tuple's item type).  Anything else
-        that does not already match raises ``TypeError`` -- silently accepting
-        a mistyped value would poison the cache key space.
+        that does not already match raises :class:`ParamTypeError` --
+        silently accepting a mistyped value would poison the cache key space.
         """
         if self.type is bool:
             if isinstance(value, bool):
                 return value
-            raise TypeError(f"parameter {self.name!r} expects bool, got {value!r}")
+            raise self._reject(value)
         if self.type is int:
             if isinstance(value, int) and not isinstance(value, bool):
                 return value
-            raise TypeError(f"parameter {self.name!r} expects int, got {value!r}")
+            raise self._reject(value)
         if self.type is float:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 return float(value)
-            raise TypeError(f"parameter {self.name!r} expects float, got {value!r}")
+            raise self._reject(value)
         if self.type is str:
             if isinstance(value, str):
                 return value
-            raise TypeError(f"parameter {self.name!r} expects str, got {value!r}")
+            raise self._reject(value)
         if self.type is tuple:
             if not isinstance(value, (list, tuple)):
-                raise TypeError(f"parameter {self.name!r} expects a sequence, got {value!r}")
+                raise self._reject(value)
             item_type = type(self.default[0]) if self.default else int
             item_spec = ParamSpec(f"{self.name}[]", item_type, None)
             return tuple(item_spec.coerce(item) for item in value)
-        raise TypeError(f"unsupported parameter type {self.type.__name__} for {self.name!r}")
+        raise ParamTypeError(
+            f"unsupported parameter type {self.type.__name__} for {self.name!r}",
+            param=self.name,
+            expected=self.describe(),
+        )
 
     def parse(self, text: str) -> object:
-        """Parse a CLI-style string value to the declared type."""
+        """Parse a CLI-style string value to the declared type.
+
+        Unparsable text raises :class:`ParamValueError` with the parameter
+        name and expected type attached, so every front end reports the same
+        diagnosis.
+        """
         if self.type is bool:
             lowered = text.strip().lower()
             if lowered in ("1", "true", "yes", "on"):
                 return True
             if lowered in ("0", "false", "no", "off"):
                 return False
-            raise ValueError(f"parameter {self.name!r}: cannot parse bool from {text!r}")
-        if self.type is int:
-            return int(text)
-        if self.type is float:
-            return float(text)
+            raise ParamValueError(
+                f"parameter {self.name!r}: cannot parse bool from {text!r}",
+                param=self.name,
+                expected="bool",
+            )
+        try:
+            if self.type is int:
+                return int(text)
+            if self.type is float:
+                return float(text)
+        except ValueError:
+            raise ParamValueError(
+                f"parameter {self.name!r}: cannot parse {self.describe()} from {text!r}",
+                param=self.name,
+                expected=self.describe(),
+            ) from None
         if self.type is tuple:
             item_type = type(self.default[0]) if self.default else int
             item_spec = ParamSpec(f"{self.name}[]", item_type, None)
@@ -250,9 +285,11 @@ class ExperimentSpec:
         overrides = dict(overrides or {})
         unknown = set(overrides) - set(self.params)
         if unknown:
-            raise KeyError(
+            raise UnknownParamError(
                 f"{self.name}: unknown/uncacheable parameter(s) {sorted(unknown)}; "
-                f"cacheable parameters are {sorted(self.params)}"
+                f"cacheable parameters are {sorted(self.params)}",
+                param=sorted(unknown)[0],
+                expected=f"one of: {', '.join(sorted(self.params)) or '(none)'}",
             )
         config: dict[str, object] = {}
         for pname in sorted(self.params):
@@ -267,6 +304,36 @@ class ExperimentSpec:
             sort_keys=True,
             separators=(",", ":"),
         )
+
+    def schema(self) -> dict[str, object]:
+        """JSON-ready description of the experiment's public parameter surface.
+
+        This is the document ``GET /v1/experiments`` serves and what
+        ``repro.api.list_experiments`` returns; tuple defaults appear as
+        lists (their JSON canonical form).
+        """
+        return {
+            "name": self.name,
+            "params": {
+                pname: {
+                    "type": spec.describe(),
+                    "default": list(spec.default) if isinstance(spec.default, tuple) else spec.default,
+                }
+                for pname, spec in sorted(self.params.items())
+            },
+            "object_params": sorted(self.object_params),
+            "artifacts": [
+                {
+                    "name": binding.name,
+                    "producer": binding.producer,
+                    "params": list(binding.params),
+                    "when": binding.when,
+                    "after": list(binding.after),
+                    "level": binding.level,
+                }
+                for binding in self.artifacts.values()
+            ],
+        }
 
     def execute(self, config: Mapping[str, object]) -> list[dict[str, object]]:
         """Run the driver with a canonical config."""

@@ -30,14 +30,21 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from .artifacts import ArtifactStore, StoreStats, artifact_key, record_stats
 from .cache import CacheEntry, ResultCache, cache_key, run_provenance
+from .errors import UnknownExperimentError
 from .executor import execute_requests, produce_artifacts
 from .fingerprint import code_fingerprint
 from .registry import ExperimentSpec, build_registry
-from ..analysis.sweep import SweepResult
+from ..analysis.sweep import SweepResult, sanitize_value
+
+#: Progress callback for :meth:`ExperimentRunner.run_many`: receives one dict
+#: per lifecycle event (``planned`` / ``artifact_wave`` / ``artifact_wave_done``
+#: / ``executing`` / ``executed``).  Used by the HTTP job layer for per-wave
+#: progress reporting; callers that do not care pass ``None``.
+Observer = Callable[[dict[str, object]], None]
 
 
 @dataclass
@@ -62,6 +69,39 @@ class RunReport:
     @property
     def result(self) -> SweepResult:
         return SweepResult(records=self.rows)
+
+    def to_jsonable(self) -> dict[str, object]:
+        """One canonical JSON document for a report (mirrors ``SweepResult``).
+
+        The CLI's ``--json`` output, the HTTP run/job responses and the job
+        store all serialise reports through here, so rows compare
+        byte-identical across every front end.  Tuple-typed config values
+        appear as lists (their JSON canonical form).
+        """
+        return {
+            "experiment": self.name,
+            "config": {key: sanitize_value(value) for key, value in self.config.items()},
+            "rows": [dict(row) for row in self.rows],
+            "cached": self.cached,
+            "elapsed_seconds": self.elapsed_seconds,
+            "compute_seconds": self.compute_seconds,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_jsonable(cls, document: Mapping[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_jsonable` output."""
+        return cls(
+            name=str(document["experiment"]),
+            rows=[dict(row) for row in document["rows"]],
+            config=dict(document["config"]),
+            cached=bool(document["cached"]),
+            elapsed_seconds=float(document["elapsed_seconds"]),
+            compute_seconds=float(document["compute_seconds"]),
+            key=document.get("key"),
+            fingerprint=document.get("fingerprint"),
+        )
 
 
 @dataclass(frozen=True)
@@ -118,7 +158,46 @@ class ExperimentRunner:
             return self.registry[name]
         except KeyError:
             known = ", ".join(sorted(self.registry))
-            raise KeyError(f"unknown experiment {name!r}; known: {known}") from None
+            raise UnknownExperimentError(f"unknown experiment {name!r}; known: {known}") from None
+
+    def address(self, name: str, overrides: Mapping[str, object] | None = None) -> tuple[dict[str, object], str, str]:
+        """``(canonical config, cache key, fingerprint)`` for one request.
+
+        This is the single addressing path every consumer shares: the CLI,
+        the batch scheduler and the HTTP warm path all hash configs through
+        here, so a request can never address a different entry than the run
+        that stored it.
+        """
+        spec = self.spec(name)
+        config = spec.canonical_config(overrides)
+        fingerprint = code_fingerprint(spec.module.__name__)
+        return config, cache_key(name, spec.canonical_json(config), fingerprint), fingerprint
+
+    def lookup(self, name: str, overrides: Mapping[str, object] | None = None) -> RunReport | None:
+        """Warm-path probe: the cached report for a config, or ``None``.
+
+        Never executes anything and never mutates the persisted hit/miss
+        counters (it is a read-only probe; the HTTP service keeps its own
+        per-request cache counters).  Raises the same validation errors as
+        :meth:`run`, so a front end can validate-and-probe in one call.
+        """
+        config, key, fingerprint = self.address(name, overrides)
+        if not self.use_cache:
+            return None
+        start = time.perf_counter()
+        entry = self.cache.get(name, key)
+        if entry is None:
+            return None
+        return RunReport(
+            name=name,
+            rows=entry.rows,
+            config=config,
+            cached=True,
+            elapsed_seconds=time.perf_counter() - start,
+            compute_seconds=entry.elapsed_seconds,
+            key=key,
+            fingerprint=entry.fingerprint,
+        )
 
     def run(self, name: str, **overrides: object) -> RunReport:
         """Run one experiment (cache-aware).
@@ -179,18 +258,32 @@ class ExperimentRunner:
         return list(units.values())
 
     def _ensure_artifacts(
-        self, units: list[ArtifactUnit], *, jobs: int | None
+        self, units: list[ArtifactUnit], *, jobs: int | None, observer: Observer | None = None
     ) -> StoreStats:
         """Produce the missing units, one wave per topological level."""
         stats = StoreStats()
         store_root = str(self.artifacts.root)
-        for level in sorted({unit.level for unit in units}):
+        levels = sorted({unit.level for unit in units})
+        for level in levels:
             wave = [unit for unit in units if unit.level == level]
             missing = [unit for unit in wave if not self.artifacts.exists(unit.artifact, unit.key)]
             stats.artifact_hits += len(wave) - len(missing)
             stats.artifact_misses += len(missing)
+            if observer is not None:
+                observer(
+                    {
+                        "event": "artifact_wave",
+                        "level": level,
+                        "waves": len(levels),
+                        "units": len(wave),
+                        "missing": len(missing),
+                        "artifacts": sorted({unit.artifact for unit in missing}),
+                    }
+                )
             if missing:
                 produce_artifacts([unit.task(store_root) for unit in missing], jobs=jobs)
+            if observer is not None:
+                observer({"event": "artifact_wave_done", "level": level, "produced": len(missing)})
         return stats
 
     # -- experiment execution ----------------------------------------------------
@@ -200,12 +293,15 @@ class ExperimentRunner:
         requests: list[tuple[str, dict[str, object]]],
         *,
         jobs: int | None = None,
+        observer: Observer | None = None,
     ) -> list[RunReport]:
         """Run ``(name, overrides)`` requests; cold ones fan out over ``jobs``.
 
         Reports come back in request order.  Cache lookups happen up front in
         the parent, artifact waves and executions in workers, cache writes
         back in the parent -- a single writer keeps the on-disk store simple.
+        ``observer`` (when given) receives progress events: the plan, each
+        artifact wave, and the experiment fan-out.
         """
         prepared: list[RunReport | None] = []
         cold: list[tuple[int, str, dict[str, object], str]] = []
@@ -245,18 +341,31 @@ class ExperimentRunner:
             result_hits=sum(1 for report in prepared if report is not None),
             result_misses=len(cold) + len(duplicates),
         ) if self.use_cache else StoreStats()
+        if observer is not None:
+            observer(
+                {
+                    "event": "planned",
+                    "requests": len(requests),
+                    "cached": sum(1 for report in prepared if report is not None),
+                    "cold": len(cold),
+                    "duplicates": len(duplicates),
+                }
+            )
         if cold:
             artifacts_root: str | None = None
             if self.use_artifacts:
                 units = self._plan_artifacts(
                     [(name, config) for _index, name, config, _key in cold]
                 )
-                stats = stats.add(self._ensure_artifacts(units, jobs=jobs))
+                stats = stats.add(self._ensure_artifacts(units, jobs=jobs, observer=observer))
                 artifacts_root = str(self.artifacts.root)
+            if observer is not None:
+                observer({"event": "executing", "experiments": len(cold)})
             outcomes = execute_requests(
                 [(name, config) for _index, name, config, _key in cold],
                 jobs=jobs,
                 artifacts_root=artifacts_root,
+                registry=self.registry,
             )
             for (index, name, config, key), (rows, elapsed) in zip(cold, outcomes):
                 spec = self.spec(name)
@@ -296,6 +405,8 @@ class ExperimentRunner:
                 )
         if self.use_cache or self.use_artifacts:
             record_stats(self.cache.root, stats)
+        if observer is not None:
+            observer({"event": "executed", "experiments": len(cold)})
         return [report for report in prepared if report is not None]
 
     def run_all(self, *, jobs: int | None = None) -> list[RunReport]:

@@ -1,0 +1,263 @@
+"""Background jobs: cold runs and sweeps off the request path.
+
+Warm-cache hits are answered synchronously by the run endpoint; anything
+that must actually compute becomes a job here.  Jobs execute on a
+single job thread (compute stays serialised service-side -- concurrency
+*within* a job comes from the runner's existing process-pool executor via
+its ``jobs=N`` fan-out) and report per-wave artifact progress through the
+runner's observer hook.
+
+Idempotency keys collapse duplicate submissions: re-submitting the same
+key returns the original job (so network-level retries of a ``POST``
+cannot double-compute), while the same key with a *different* payload is
+a conflict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from .models import ServiceError
+from .. import api
+from ..runner.service import ExperimentRunner
+
+#: Job lifecycle states, in order.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+@dataclass
+class JobRecord:
+    """One submitted job and everything ``GET /v1/jobs/{id}`` reports."""
+
+    id: str
+    kind: str  # "run" | "sweep"
+    experiments: list[str]
+    params: dict[str, object]
+    grid: dict[str, list[object]] | None
+    jobs: int
+    request_id: str
+    idempotency_key: str | None
+    state: str = QUEUED
+    created_unix: float = field(default_factory=time.time)
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    error: dict[str, object] | None = None
+    progress: dict[str, object] = field(default_factory=dict)
+    reports: list[dict[str, object]] | None = None
+    sweep: dict[str, object] | None = None
+
+    def to_jsonable(self) -> dict[str, object]:
+        document: dict[str, object] = {
+            "id": self.id,
+            "kind": self.kind,
+            "experiments": list(self.experiments),
+            "params": dict(self.params),
+            "state": self.state,
+            "jobs": self.jobs,
+            "request_id": self.request_id,
+            "created_unix": round(self.created_unix, 3),
+            "started_unix": round(self.started_unix, 3) if self.started_unix else None,
+            "finished_unix": round(self.finished_unix, 3) if self.finished_unix else None,
+            "progress": dict(self.progress),
+            "error": dict(self.error) if self.error else None,
+        }
+        if self.grid is not None:
+            document["grid"] = dict(self.grid)
+        if self.reports is not None:
+            document["reports"] = self.reports
+        if self.sweep is not None:
+            document["sweep"] = self.sweep
+        return document
+
+
+class JobManager:
+    """Submission, idempotency collapse and execution of background jobs."""
+
+    def __init__(self, runner: ExperimentRunner, *, jobs: int = 1):
+        self.runner = runner
+        self.default_jobs = max(1, jobs)
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}
+        self._order: list[str] = []
+        self._by_key: dict[str, tuple[str, str]] = {}  # idempotency key -> (job id, payload digest)
+        self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-job")
+        self._in_flight = 0
+
+    # -- submission -------------------------------------------------------------
+
+    @staticmethod
+    def _payload_digest(payload: dict[str, object]) -> str:
+        return hashlib.sha256(json.dumps(payload, sort_keys=True, default=str).encode()).hexdigest()
+
+    def submit(
+        self,
+        *,
+        kind: str,
+        experiments: list[str],
+        params: dict[str, object],
+        grid: dict[str, list[object]] | None = None,
+        jobs: int | None = None,
+        request_id: str = "",
+        idempotency_key: str | None = None,
+    ) -> tuple[JobRecord, bool]:
+        """Queue a job; returns ``(record, created)``.
+
+        ``created`` is ``False`` when an idempotency key collapsed the
+        submission onto an existing job.  The same key with a different
+        payload is a 409 conflict -- silently returning a job that computes
+        something else would be worse than failing.
+        """
+        digest = self._payload_digest(
+            {"kind": kind, "experiments": experiments, "params": params, "grid": grid}
+        )
+        with self._lock:
+            if idempotency_key is not None:
+                existing = self._by_key.get(idempotency_key)
+                if existing is not None:
+                    job_id, known_digest = existing
+                    if known_digest != digest:
+                        raise ServiceError(
+                            409,
+                            "idempotency_conflict",
+                            f"idempotency key {idempotency_key!r} was already used with a different payload",
+                        )
+                    return self._records[job_id], False
+            record = JobRecord(
+                id=f"job-{uuid.uuid4().hex[:12]}",
+                kind=kind,
+                experiments=list(experiments),
+                params=dict(params),
+                grid=dict(grid) if grid is not None else None,
+                jobs=min(self.default_jobs, jobs) if jobs else self.default_jobs,
+                request_id=request_id,
+                idempotency_key=idempotency_key,
+            )
+            self._records[record.id] = record
+            self._order.append(record.id)
+            if idempotency_key is not None:
+                self._by_key[idempotency_key] = (record.id, digest)
+            self._in_flight += 1
+        self._pool.submit(self._execute, record.id)
+        return record, True
+
+    # -- queries ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            record = self._records.get(job_id)
+        if record is None:
+            raise ServiceError(404, "unknown_job", f"no job {job_id!r}")
+        return record
+
+    def listing(self) -> list[dict[str, object]]:
+        """Submission-order summaries (no report payloads)."""
+        with self._lock:
+            records = [self._records[job_id] for job_id in self._order]
+        return [
+            {
+                "id": record.id,
+                "kind": record.kind,
+                "experiments": record.experiments,
+                "state": record.state,
+                "created_unix": round(record.created_unix, 3),
+            }
+            for record in records
+        ]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            by_state = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED)}
+            for record in self._records.values():
+                by_state[record.state] = by_state.get(record.state, 0) + 1
+            by_state["in_flight"] = self._in_flight
+            return by_state
+
+    # -- execution ---------------------------------------------------------------
+
+    def _observer(self, job_id: str):
+        """Bridge runner progress events into the job record, thread-safely."""
+
+        def observe(event: dict[str, object]) -> None:
+            with self._lock:
+                record = self._records[job_id]
+                kind = event.get("event")
+                if kind == "planned":
+                    record.progress.update(
+                        phase="planned",
+                        cached=event["cached"],
+                        cold=event["cold"],
+                        waves=[],
+                    )
+                elif kind == "artifact_wave":
+                    record.progress["phase"] = "artifacts"
+                    record.progress.setdefault("waves", []).append(
+                        {
+                            "level": event["level"],
+                            "units": event["units"],
+                            "missing": event["missing"],
+                            "artifacts": event["artifacts"],
+                            "done": False,
+                        }
+                    )
+                elif kind == "artifact_wave_done":
+                    for wave in record.progress.get("waves", []):
+                        if wave["level"] == event["level"]:
+                            wave["done"] = True
+                elif kind == "executing":
+                    record.progress["phase"] = "executing"
+                    record.progress["experiments"] = event["experiments"]
+                elif kind == "executed":
+                    record.progress["phase"] = "finalizing"
+
+        return observe
+
+    def _execute(self, job_id: str) -> None:
+        record = self.get(job_id)
+        with self._lock:
+            record.state = RUNNING
+            record.started_unix = time.time()
+        try:
+            if record.kind == "sweep":
+                outcome = api.sweep(
+                    record.experiments[0],
+                    record.grid or {},
+                    record.params,
+                    runner=self.runner,
+                    jobs=record.jobs,
+                    observer=self._observer(job_id),
+                )
+                with self._lock:
+                    record.sweep = outcome.to_jsonable()
+                    record.reports = [report.to_jsonable() for report in outcome.reports]
+            else:
+                reports = api.run_all(
+                    record.experiments,
+                    record.params or None,
+                    runner=self.runner,
+                    jobs=record.jobs,
+                    observer=self._observer(job_id),
+                )
+                with self._lock:
+                    record.reports = [report.to_jsonable() for report in reports]
+            with self._lock:
+                record.state = DONE
+                record.progress["phase"] = "done"
+        except BaseException as error:  # jobs must never take the worker thread down
+            code = getattr(error, "code", "execution_error")
+            with self._lock:
+                record.state = FAILED
+                record.error = {"code": code, "message": str(error)}
+                record.progress["phase"] = "failed"
+        finally:
+            with self._lock:
+                record.finished_unix = time.time()
+                self._in_flight -= 1
+
+    def close(self, *, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=True)

@@ -1,0 +1,78 @@
+"""Cross-cutting request middleware: request IDs, rate limiting, access logs.
+
+These concerns apply to *every* route, so they live outside the handlers:
+:class:`repro.service.routes.ServiceApp` assigns a request ID before
+dispatch, consults the token bucket (except for ``/v1/health`` -- load
+balancers must always be able to probe), and logs one structured line per
+request with the ID echoed, so a response can be correlated with its log
+line and its metrics sample.
+"""
+
+from __future__ import annotations
+
+import logging
+import re
+import threading
+import time
+import uuid
+from typing import Callable
+
+logger = logging.getLogger("repro.service")
+
+_REQUEST_ID_SHAPE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def make_request_id(client_supplied: str | None) -> str:
+    """Honour a well-formed client ``X-Request-Id``; mint one otherwise."""
+    if client_supplied and _REQUEST_ID_SHAPE.match(client_supplied):
+        return client_supplied
+    return f"req-{uuid.uuid4().hex[:12]}"
+
+
+class TokenBucket:
+    """Per-client token-bucket rate limiter.
+
+    ``rate`` tokens/second refill up to ``burst`` capacity per client key;
+    each request spends one token.  :meth:`check` returns 0.0 when the
+    request may proceed, else the seconds to wait before a token is
+    available (rendered as ``Retry-After``).  Client state is bounded: the
+    least-recently-seen buckets are evicted past ``max_clients``.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 1024,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive (use no limiter to disable)")
+        self.rate = float(rate)
+        self.burst = float(burst if burst is not None else max(1, round(2 * rate)))
+        self._clock = clock
+        self._max_clients = max_clients
+        self._lock = threading.Lock()
+        self._buckets: dict[str, tuple[float, float]] = {}  # key -> (tokens, stamp)
+
+    def check(self, key: str = "") -> float:
+        """Spend one token for ``key``; 0.0 = allowed, else retry-after seconds."""
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.pop(key, (self.burst, now))
+            tokens = min(self.burst, tokens + (now - stamp) * self.rate)
+            allowed = tokens >= 1.0
+            if allowed:
+                tokens -= 1.0
+            self._buckets[key] = (tokens, now)  # reinsert last = most recently seen
+            if len(self._buckets) > self._max_clients:
+                self._buckets.pop(next(iter(self._buckets)))
+            return 0.0 if allowed else (1.0 - tokens) / self.rate
+
+
+def log_request(request_id: str, client: str, method: str, path: str, status: int, seconds: float) -> None:
+    """One access-log line per request, request ID first for correlation."""
+    logger.info(
+        "%s %s %s %s -> %d in %.1f ms", request_id, client or "-", method, path, status, seconds * 1e3
+    )

@@ -1,0 +1,156 @@
+"""Request/response models of the HTTP service.
+
+Every endpoint parses its body through one of the request models here and
+renders through one of the response builders, so the wire format is
+defined in exactly one place.  Validation failures surface as
+:class:`ServiceError` (transport-level problems: bad JSON, wrong shapes)
+or propagate the :mod:`repro.api` error taxonomy (schema-level problems:
+unknown experiments/parameters, mistyped values); :func:`error_from_exception`
+maps both onto status codes and stable ``code`` fields.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..runner.errors import ExecutionError, ParamError, ReproError, UnknownExperimentError
+from ..runner.service import RunReport
+
+
+class ServiceError(Exception):
+    """An HTTP-mappable failure with a stable machine-readable ``code``."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        param: str | None = None,
+        expected: str | None = None,
+        retry_after: float | None = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.param = param
+        self.expected = expected
+        self.retry_after = retry_after
+
+
+def error_from_exception(error: BaseException) -> ServiceError:
+    """The one mapping from the API error taxonomy to HTTP status codes."""
+    if isinstance(error, ServiceError):
+        return error
+    if isinstance(error, UnknownExperimentError):
+        return ServiceError(404, error.code, str(error))
+    if isinstance(error, ParamError):
+        return ServiceError(400, error.code, str(error), param=error.param, expected=error.expected)
+    if isinstance(error, ExecutionError):
+        return ServiceError(500, error.code, str(error))
+    if isinstance(error, ReproError):
+        return ServiceError(500, error.code, str(error))
+    return ServiceError(500, "internal", f"{type(error).__name__}: {error}")
+
+
+def error_body(error: ServiceError, request_id: str) -> dict[str, object]:
+    """The structured JSON error body every non-2xx response carries."""
+    detail: dict[str, object] = {"code": error.code, "message": str(error)}
+    if error.param is not None:
+        detail["param"] = error.param
+    if error.expected is not None:
+        detail["expected"] = error.expected
+    detail["request_id"] = request_id
+    return {"error": detail}
+
+
+def _parse_json_object(body: bytes) -> dict[str, object]:
+    """The request body as a JSON object (empty body = empty object)."""
+    if not body.strip():
+        return {}
+    try:
+        document = json.loads(body)
+    except ValueError as error:
+        raise ServiceError(400, "invalid_json", f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ServiceError(400, "invalid_body", "request body must be a JSON object")
+    return document
+
+
+def _params_field(document: Mapping[str, object], name: str = "params") -> dict[str, object]:
+    params = document.get(name, {})
+    if not isinstance(params, dict):
+        raise ServiceError(400, "invalid_body", f"{name!r} must be a JSON object of parameter overrides")
+    return dict(params)
+
+
+@dataclass
+class RunRequest:
+    """Body of ``POST /v1/experiments/{name}/run``: ``{"params": {...}}``."""
+
+    params: dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "RunRequest":
+        document = _parse_json_object(body)
+        unknown = set(document) - {"params"}
+        if unknown:
+            raise ServiceError(
+                400, "invalid_body", f"unknown field(s) {sorted(unknown)}; accepted: params"
+            )
+        return cls(params=_params_field(document))
+
+
+@dataclass
+class JobRequest:
+    """Body of ``POST /v1/jobs``.
+
+    ``{"experiment": name | "all", "params": {...}}`` submits a run job;
+    adding ``"grid": {param: [values...]}`` makes it a sweep job.
+    ``"jobs"`` optionally requests a worker fan-out (clamped to the
+    server's ``--jobs``).
+    """
+
+    experiment: str
+    params: dict[str, object] = field(default_factory=dict)
+    grid: dict[str, list[object]] | None = None
+    jobs: int | None = None
+
+    @classmethod
+    def from_body(cls, body: bytes) -> "JobRequest":
+        document = _parse_json_object(body)
+        unknown = set(document) - {"experiment", "params", "grid", "jobs"}
+        if unknown:
+            raise ServiceError(
+                400,
+                "invalid_body",
+                f"unknown field(s) {sorted(unknown)}; accepted: experiment, params, grid, jobs",
+            )
+        experiment = document.get("experiment")
+        if not isinstance(experiment, str) or not experiment:
+            raise ServiceError(400, "invalid_body", "'experiment' must name an experiment (or 'all')")
+        grid = document.get("grid")
+        if grid is not None and not isinstance(grid, dict):
+            raise ServiceError(400, "invalid_body", "'grid' must be a JSON object of value lists")
+        jobs = document.get("jobs")
+        if jobs is not None and (isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1):
+            raise ServiceError(400, "invalid_body", "'jobs' must be a positive integer")
+        if grid is not None and experiment == "all":
+            raise ServiceError(400, "invalid_body", "a sweep job needs a single experiment, not 'all'")
+        return cls(
+            experiment=experiment,
+            params=_params_field(document),
+            grid={str(key): value for key, value in grid.items()} if grid is not None else None,
+            jobs=jobs,
+        )
+
+
+def run_response(report: RunReport, request_id: str) -> dict[str, object]:
+    """Body of a warm ``POST .../run`` hit -- the canonical report document."""
+    return {**report.to_jsonable(), "request_id": request_id}
+
+
+def experiments_response(listing: list[dict[str, object]]) -> dict[str, object]:
+    return {"experiments": listing}

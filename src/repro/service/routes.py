@@ -1,0 +1,233 @@
+"""Route table and middleware pipeline of the reproduction service.
+
+:class:`ServiceApp` is the *app* the transport layer drives: it owns the
+route table (method + path template -> handler) and runs every request
+through one pipeline -- request-ID assignment, token-bucket rate
+limiting (``/v1/health`` exempt so load-balancer probes always pass),
+dispatch, error mapping, metrics and the access log.  Handlers stay tiny
+because validation and execution live in :mod:`repro.api`; blocking work
+(cache probes) is pushed off the event loop onto a thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import re
+from typing import Awaitable, Callable
+
+from .jobs import JobManager
+from .metrics import ServiceMetrics
+from .middleware import TokenBucket, log_request, make_request_id
+from .models import (
+    JobRequest,
+    RunRequest,
+    ServiceError,
+    error_body,
+    error_from_exception,
+    experiments_response,
+    run_response,
+)
+from .server import Request, Response
+from .. import api
+from ..runner.service import ExperimentRunner
+
+Handler = Callable[[Request, dict[str, str]], Awaitable[Response]]
+
+
+def _compile(template: str) -> re.Pattern[str]:
+    """``/v1/jobs/{id}`` -> a regex capturing ``id`` (no slashes inside)."""
+    pattern = re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template)
+    return re.compile(f"^{pattern}$")
+
+
+class ServiceApp:
+    """The HTTP application: routes + the per-request middleware pipeline."""
+
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        *,
+        jobs: int = 1,
+        rate_limit: float = 0.0,
+        rate_burst: int | None = None,
+    ):
+        self.runner = runner
+        self.metrics = ServiceMetrics()
+        self.jobs = JobManager(runner, jobs=jobs)
+        self.metrics.job_counts = self.jobs.counts
+        self.limiter = TokenBucket(rate_limit, rate_burst) if rate_limit > 0 else None
+        self._routes: list[tuple[str, str, re.Pattern[str], Handler]] = [
+            (method, template, _compile(template), handler)
+            for method, template, handler in (
+                ("GET", "/v1/health", self.get_health),
+                ("GET", "/v1/experiments", self.get_experiments),
+                ("GET", "/v1/metrics", self.get_metrics),
+                ("POST", "/v1/experiments/{name}/run", self.post_run),
+                ("POST", "/v1/jobs", self.post_job),
+                ("GET", "/v1/jobs", self.get_jobs),
+                ("GET", "/v1/jobs/{id}", self.get_job),
+            )
+        ]
+
+    # -- middleware pipeline -----------------------------------------------------
+
+    def _match(self, request: Request) -> tuple[str, Handler, dict[str, str]]:
+        """Route label (``"METHOD /template"``), handler and path params.
+
+        The label is what metrics are recorded under -- always the
+        template, never the raw path, so cardinality stays bounded.
+        Raises 405 (with the allowed methods) when the path exists under
+        another method, 404 when no template matches at all.
+        """
+        allowed: list[str] = []
+        for method, template, pattern, handler in self._routes:
+            found = pattern.match(request.path)
+            if not found:
+                continue
+            if method == request.method:
+                return f"{method} {template}", handler, found.groupdict()
+            allowed.append(method)
+        if allowed:
+            raise ServiceError(
+                405,
+                "method_not_allowed",
+                f"{request.method} not allowed on {request.path}; allowed: {', '.join(sorted(set(allowed)))}",
+            )
+        raise ServiceError(404, "unknown_route", f"no route for {request.method} {request.path}")
+
+    async def handle(self, request: Request) -> Response:
+        """One request through the full pipeline; never raises."""
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        request.request_id = make_request_id(request.header("x-request-id"))
+        route = "unmatched"
+        try:
+            route, handler, path_params = self._match(request)
+            # Bound-method equality (not identity: each attribute access
+            # builds a fresh method object) keeps /v1/health exempt.
+            if self.limiter is not None and handler != self.get_health:
+                retry_after = self.limiter.check(request.client)
+                if retry_after > 0:
+                    raise ServiceError(
+                        429,
+                        "rate_limited",
+                        f"request rate exceeds {self.limiter.rate:g}/s per client; retry later",
+                        retry_after=retry_after,
+                    )
+            response = await handler(request, path_params)
+        except BaseException as error:
+            failure = error_from_exception(error)
+            response = Response(failure.status, error_body(failure, request.request_id))
+            if failure.retry_after is not None:
+                response.headers["retry-after"] = str(max(1, math.ceil(failure.retry_after)))
+        response.headers.setdefault("x-request-id", request.request_id)
+        elapsed = loop.time() - start
+        self.metrics.record_request(route, response.status, elapsed)
+        log_request(request.request_id, request.client, request.method, request.path, response.status, elapsed)
+        return response
+
+    # -- handlers ----------------------------------------------------------------
+
+    async def get_health(self, request: Request, _params: dict[str, str]) -> Response:
+        return Response(200, {"status": "ok", "request_id": request.request_id})
+
+    async def get_experiments(self, request: Request, _params: dict[str, str]) -> Response:
+        listing = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: api.list_experiments(runner=self.runner)
+        )
+        return Response(200, experiments_response(listing))
+
+    async def get_metrics(self, _request: Request, _params: dict[str, str]) -> Response:
+        return Response(200, self.metrics.snapshot())
+
+    async def post_run(self, request: Request, path_params: dict[str, str]) -> Response:
+        """Warm hits answer synchronously; cold configs become jobs."""
+        name = path_params["name"]
+        body = RunRequest.from_body(request.body)
+        report = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self.runner.lookup(name, body.params)
+        )
+        self.metrics.record_cache(hit=report is not None)
+        if report is not None:
+            return Response(200, run_response(report, request.request_id))
+        record, _created = self.jobs.submit(
+            kind="run",
+            experiments=[name],
+            params=body.params,
+            request_id=request.request_id,
+            idempotency_key=request.header("idempotency-key"),
+        )
+        return Response(
+            202,
+            {"job": record.to_jsonable(), "request_id": request.request_id},
+            headers={"location": f"/v1/jobs/{record.id}"},
+        )
+
+    async def post_job(self, request: Request, _params: dict[str, str]) -> Response:
+        body = JobRequest.from_body(request.body)
+        loop = asyncio.get_running_loop()
+        if body.grid is not None:
+            # Validate before queueing so schema errors are a synchronous 400.
+            await loop.run_in_executor(
+                None, lambda: api.validate_grid(body.experiment, body.grid, runner=self.runner)
+            )
+            await loop.run_in_executor(
+                None, lambda: api.validate_params(body.experiment, body.params, runner=self.runner)
+            )
+            experiments = [body.experiment]
+            kind = "sweep"
+        else:
+            experiments = (
+                list(self.runner.registry) if body.experiment == "all" else [body.experiment]
+            )
+            if body.params and len(experiments) != 1:
+                raise ServiceError(
+                    400, "invalid_body", "shared params require a single experiment, not 'all'"
+                )
+            for target in experiments:
+                await loop.run_in_executor(
+                    None, lambda t=target: api.validate_params(t, body.params, runner=self.runner)
+                )
+            kind = "run"
+        record, created = self.jobs.submit(
+            kind=kind,
+            experiments=experiments,
+            params=body.params,
+            grid=body.grid,
+            jobs=body.jobs,
+            request_id=request.request_id,
+            idempotency_key=request.header("idempotency-key"),
+        )
+        return Response(
+            202 if created else 200,
+            {"job": record.to_jsonable(), "created": created, "request_id": request.request_id},
+            headers={"location": f"/v1/jobs/{record.id}"},
+        )
+
+    async def get_jobs(self, _request: Request, _params: dict[str, str]) -> Response:
+        return Response(200, {"jobs": self.jobs.listing()})
+
+    async def get_job(self, _request: Request, path_params: dict[str, str]) -> Response:
+        return Response(200, self.jobs.get(path_params["id"]).to_jsonable())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.jobs.close()
+
+
+def build_app(
+    runner: ExperimentRunner | None = None,
+    *,
+    jobs: int = 1,
+    rate_limit: float = 0.0,
+    rate_burst: int | None = None,
+) -> ServiceApp:
+    """The app ``repro.api.serve`` (and the test harness) boots."""
+    return ServiceApp(
+        runner if runner is not None else api.make_runner(),
+        jobs=jobs,
+        rate_limit=rate_limit,
+        rate_burst=rate_burst,
+    )

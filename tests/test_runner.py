@@ -326,9 +326,11 @@ class TestExperimentRunner:
         executed: list[int] = []
         real_execute = service_module.execute_requests
 
-        def counting_execute(requests, *, jobs=None, artifacts_root=None):
+        def counting_execute(requests, *, jobs=None, artifacts_root=None, registry=None):
             executed.append(len(requests))
-            return real_execute(requests, jobs=jobs, artifacts_root=artifacts_root)
+            return real_execute(
+                requests, jobs=jobs, artifacts_root=artifacts_root, registry=registry
+            )
 
         monkeypatch.setattr(service_module, "execute_requests", counting_execute)
         reports = runner.run_many(
@@ -358,10 +360,10 @@ class TestCli:
         argv = ["run", "table2", "--param", "input_length=24", "--param", "taps=5", "--json"]
         timing = tmp_path / "timing.json"
         assert self._run(tmp_path, *argv, "--timing-json", str(timing)) == 0
-        cold_rows = json.loads(capsys.readouterr().out)["table2"]
+        cold_rows = json.loads(capsys.readouterr().out)["table2"]["rows"]
         assert json.loads(timing.read_text())["experiments"]["table2"]["cached"] is False
         assert self._run(tmp_path, *argv, "--timing-json", str(timing)) == 0
-        warm_rows = json.loads(capsys.readouterr().out)["table2"]
+        warm_rows = json.loads(capsys.readouterr().out)["table2"]["rows"]
         assert json.loads(timing.read_text())["experiments"]["table2"]["cached"] is True
         assert json.dumps(cold_rows) == json.dumps(warm_rows)
 
