@@ -41,14 +41,19 @@ from .runner.errors import (
     ParamTypeError,
     ParamValueError,
     ReproError,
+    UnitTimeoutError,
     UnknownExperimentError,
     UnknownParamError,
+    WorkerCrashError,
 )
+from .runner.executor import DEFAULT_POLICY, ExecutionPolicy
 from .runner.registry import ExperimentSpec
 from .runner.service import ExperimentRunner, Observer, RunReport
 
 __all__ = [
+    "DEFAULT_POLICY",
     "ExecutionError",
+    "ExecutionPolicy",
     "ExperimentRunner",
     "ParamError",
     "ParamTypeError",
@@ -56,8 +61,10 @@ __all__ = [
     "ReproError",
     "RunReport",
     "SweepReport",
+    "UnitTimeoutError",
     "UnknownExperimentError",
     "UnknownParamError",
+    "WorkerCrashError",
     "list_experiments",
     "make_runner",
     "parse_param",
@@ -163,10 +170,28 @@ def validate_grid(
     return validated
 
 
-def _execute(runner: ExperimentRunner, requests, *, jobs: int, observer: Observer | None):
+def _policy(
+    timeout: float | None, retries: int | None, policy: ExecutionPolicy | None
+) -> ExecutionPolicy | None:
+    """The execution policy a facade call resolves to (an explicit one wins)."""
+    if policy is not None:
+        return policy
+    if timeout is None and retries is None:
+        return None
+    return DEFAULT_POLICY.with_overrides(timeout=timeout, retries=retries)
+
+
+def _execute(
+    runner: ExperimentRunner,
+    requests,
+    *,
+    jobs: int,
+    observer: Observer | None,
+    policy: ExecutionPolicy | None = None,
+):
     """One guarded execution path: driver failures become ``ExecutionError``."""
     try:
-        return runner.run_many(requests, jobs=jobs, observer=observer)
+        return runner.run_many(requests, jobs=jobs, observer=observer, policy=policy)
     except ReproError:
         raise
     except Exception as error:
@@ -183,11 +208,25 @@ def run(
     use_cache: bool = True,
     jobs: int = 1,
     observer: Observer | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> RunReport:
-    """Run one experiment (cache-aware); the report's rows are JSON-ready."""
+    """Run one experiment (cache-aware); the report's rows are JSON-ready.
+
+    ``timeout`` / ``retries`` tune the parallel executor's per-unit
+    wall-clock budget and retry count (an explicit ``policy`` wins); both
+    only apply when ``jobs > 1`` spawns worker processes.
+    """
     runner = make_runner(cache_dir=cache_dir, use_cache=use_cache, runner=runner)
     validate_params(name, params, runner=runner)
-    return _execute(runner, [(name, dict(params or {}))], jobs=jobs, observer=observer)[0]
+    return _execute(
+        runner,
+        [(name, dict(params or {}))],
+        jobs=jobs,
+        observer=observer,
+        policy=_policy(timeout, retries, policy),
+    )[0]
 
 
 def run_all(
@@ -199,6 +238,9 @@ def run_all(
     use_cache: bool = True,
     jobs: int = 1,
     observer: Observer | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> list[RunReport]:
     """Run several experiments (default: every registered one), request order.
 
@@ -216,7 +258,9 @@ def run_all(
     for target in targets:
         validate_params(target, params, runner=runner)
     requests = [(target, dict(params or {})) for target in targets]
-    return _execute(runner, requests, jobs=jobs, observer=observer)
+    return _execute(
+        runner, requests, jobs=jobs, observer=observer, policy=_policy(timeout, retries, policy)
+    )
 
 
 @dataclass
@@ -271,6 +315,9 @@ def sweep(
     use_cache: bool = True,
     jobs: int = 1,
     observer: Observer | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> SweepReport:
     """Cartesian grid over one experiment's parameters, each cell cache-aware."""
     runner = make_runner(cache_dir=cache_dir, use_cache=use_cache, runner=runner)
@@ -290,6 +337,7 @@ def sweep(
         [(name, {**fixed, **assignment}) for assignment in assignments],
         jobs=jobs,
         observer=observer,
+        policy=_policy(timeout, retries, policy),
     )
     return SweepReport(
         experiment=name,
@@ -308,19 +356,30 @@ def serve(
     cache_dir: str | None = None,
     rate_limit: float = 0.0,
     rate_burst: int | None = None,
+    max_queue: int = 64,
+    drain_seconds: float = 10.0,
+    state_dir: str | None = None,
 ) -> int:
     """Serve the reproduction over HTTP (blocks until interrupted).
 
     ``rate_limit`` is requests/second per client (0 disables limiting);
     ``rate_burst`` the token-bucket capacity (defaults to ``2 * rate``).
+    ``max_queue`` bounds queued + running jobs (excess submissions are shed
+    with 503/``overloaded``), ``drain_seconds`` is how long shutdown waits
+    for in-flight jobs, and ``state_dir`` is where job records are
+    journaled so they survive a restart (default ``<cache root>/jobs``).
     The service layer is imported lazily so library users never pay for it.
     """
     from .service import build_app, serve_forever
 
+    runner = make_runner(cache_dir=cache_dir)
     app = build_app(
-        runner=make_runner(cache_dir=cache_dir),
+        runner=runner,
         jobs=jobs,
         rate_limit=rate_limit,
         rate_burst=rate_burst,
+        max_queue=max_queue,
+        drain_seconds=drain_seconds,
+        state_dir=state_dir if state_dir is not None else str(runner.cache.root / "jobs"),
     )
     return serve_forever(app, host=host, port=port)

@@ -41,6 +41,7 @@ import contextlib
 import hashlib
 import importlib
 import json
+import logging
 import os
 import pickle
 import tempfile
@@ -49,10 +50,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Mapping
 
+from ..faults import fault_point
 from .fingerprint import code_fingerprint
+
+logger = logging.getLogger(__name__)
 
 #: Bumped when the on-disk artifact layout changes; part of every key.
 ARTIFACT_SCHEMA_VERSION = 1
+
+#: Sidecar directory (under the store root) corrupt entries are moved into.
+QUARANTINE_DIRNAME = "corrupt"
 
 #: File name (under the shared cache root) of the hit/miss counters.
 STATS_FILENAME = "_stats.json"
@@ -140,6 +147,16 @@ class ArtifactStore:
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_artifact_root()
+        #: Corruption/quarantine tallies since the last :meth:`drain_stats`.
+        self.recent_corrupt = 0
+        self.recent_quarantined = 0
+
+    def drain_stats(self) -> tuple[int, int]:
+        """``(corrupt, quarantined)`` tallied since the last drain; resets."""
+        drained = (self.recent_corrupt, self.recent_quarantined)
+        self.recent_corrupt = 0
+        self.recent_quarantined = 0
+        return drained
 
     @staticmethod
     def _check_artifact_name(artifact: str) -> str:
@@ -155,23 +172,52 @@ class ArtifactStore:
         """Cheap presence probe (no unpickling)."""
         return self._path(artifact, key).is_file()
 
+    def _quarantine(self, path: Path) -> None:
+        """Record + move one corrupt entry to the ``corrupt/`` sidecar dir.
+
+        Mirrors :func:`repro.runner.cache.quarantine_entry`; duplicated
+        (it is one ``os.replace``) to keep this module's import closure
+        down to ``fingerprint``, per the module docstring.
+        """
+        self.recent_corrupt += 1
+        destination = self.root / QUARANTINE_DIRNAME / path.parent.name / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:  # lost the race; the entry is gone either way
+            return
+        self.recent_quarantined += 1
+
     def get(self, artifact: str, key: str) -> ArtifactEntry | None:
-        """The stored entry, or ``None`` on miss/corruption (corrupt = miss)."""
+        """The stored entry, or ``None`` on a miss.
+
+        Corrupt entries (readable bytes that fail to unpickle into a
+        current-schema document) are quarantined rather than silently
+        treated as misses forever; the caller recomputes.
+        """
         path = self._path(artifact, key)
         try:
-            document = pickle.loads(path.read_bytes())
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            blob = path.read_bytes()
+        except OSError:  # missing or unreadable: a plain miss, not corruption
+            return None
+        try:
+            document = pickle.loads(blob)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, ValueError):
+            self._quarantine(path)
             return None
         if not isinstance(document, dict) or document.get("schema") != ARTIFACT_SCHEMA_VERSION:
+            self._quarantine(path)
             return None
         try:
             return ArtifactEntry.from_document(document)
         except (KeyError, TypeError, ValueError):
+            self._quarantine(path)
             return None
 
     def put(self, key: str, entry: ArtifactEntry) -> Path:
         """Atomically persist one entry; returns its path."""
         path = self._path(entry.artifact, key)
+        fault_point("artifact.write", key=entry.artifact)
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = pickle.dumps(entry.to_document())
         descriptor, temp_name = tempfile.mkstemp(
@@ -187,6 +233,7 @@ class ArtifactStore:
             except OSError:
                 pass
             raise
+        fault_point("artifact.written", key=entry.artifact, path=path)
         return path
 
     def entries(self, artifact: str | None = None) -> Iterator[tuple[str, Path]]:
@@ -319,7 +366,11 @@ def produce_into(
         elapsed_seconds=elapsed,
         provenance=_artifact_provenance(),
     )
-    store.put(key, entry)
+    try:
+        store.put(key, entry)
+    except OSError as error:  # full/read-only disk: degrade to uncached
+        logger.warning("artifact store write failed for %s (%s); continuing uncached",
+                       artifact, error)
     return entry
 
 
@@ -361,25 +412,35 @@ class StoreStats:
     race on the file.
     """
 
+    FIELDS = (
+        "result_hits",
+        "result_misses",
+        "artifact_hits",
+        "artifact_misses",
+        "result_corrupt",
+        "artifact_corrupt",
+        "quarantined",
+        "retried",
+    )
+
     result_hits: int = 0
     result_misses: int = 0
     artifact_hits: int = 0
     artifact_misses: int = 0
+    #: Corrupt entries detected (and treated as misses) per store.
+    result_corrupt: int = 0
+    artifact_corrupt: int = 0
+    #: Corrupt entries successfully moved into a ``corrupt/`` sidecar dir.
+    quarantined: int = 0
+    #: Execution units re-attempted after a crash or timeout.
+    retried: int = 0
 
     def to_document(self) -> dict[str, int]:
-        return {
-            "result_hits": self.result_hits,
-            "result_misses": self.result_misses,
-            "artifact_hits": self.artifact_hits,
-            "artifact_misses": self.artifact_misses,
-        }
+        return {name: getattr(self, name) for name in self.FIELDS}
 
     def add(self, other: "StoreStats") -> "StoreStats":
         return StoreStats(
-            result_hits=self.result_hits + other.result_hits,
-            result_misses=self.result_misses + other.result_misses,
-            artifact_hits=self.artifact_hits + other.artifact_hits,
-            artifact_misses=self.artifact_misses + other.artifact_misses,
+            **{name: getattr(self, name) + getattr(other, name) for name in self.FIELDS}
         )
 
 
@@ -395,7 +456,7 @@ def load_stats(root: Path | str) -> StoreStats:
     return StoreStats(
         **{
             name: int(document.get(name, 0))
-            for name in ("result_hits", "result_misses", "artifact_hits", "artifact_misses")
+            for name in StoreStats.FIELDS
             if isinstance(document.get(name, 0), int)
         }
     )

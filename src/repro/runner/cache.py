@@ -9,6 +9,14 @@ config, the fingerprint, interpreter/numpy/package versions and a creation
 timestamp.  Writes go through a temp file + ``os.replace`` so concurrent
 runners never observe a torn entry.
 
+Corrupt entries (undecodable bytes, invalid JSON, wrong schema, broken
+document shape) are **quarantined**, not silently re-counted as misses:
+the file is moved to ``<root>/corrupt/<experiment>/<key>.json`` for
+forensics, the detection is tallied on the cache's in-memory stat delta
+(drained into the persisted ``_stats.json`` counters by the runner) and
+the read behaves as a miss so the entry is recomputed.  A file that
+simply vanished (raced ``unlink``) stays a plain miss.
+
 The cache root defaults to ``$REPRO_CACHE_DIR`` when set, else
 ``~/.cache/dvafs-repro``.
 """
@@ -26,9 +34,46 @@ from pathlib import Path
 from typing import Iterator, Mapping
 
 from ..analysis.sweep import SweepResult
+from ..faults import fault_point
 
 #: Bumped when the on-disk entry layout changes; part of every cache key.
 SCHEMA_VERSION = 1
+
+#: Sidecar directory (under a store root) corrupt entries are moved into.
+QUARANTINE_DIRNAME = "corrupt"
+
+
+def quarantine_entry(root: Path, path: Path) -> Path | None:
+    """Move a corrupt entry under ``<root>/corrupt/``; ``None`` if it raced away.
+
+    The move is a single ``os.replace`` on the same filesystem, so a
+    concurrent reader either sees the (corrupt) entry or a miss -- never a
+    half-moved file.  Losing the race (another process quarantined or
+    unlinked it first) is fine: the entry is gone either way.
+    """
+    destination = root / QUARANTINE_DIRNAME / path.parent.name / path.name
+    try:
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(path, destination)
+    except OSError:
+        return None
+    return destination
+
+
+def quarantine_summary(root: Path) -> dict[str, int]:
+    """Entry count and byte total of a store's quarantine sidecar."""
+    quarantine = Path(root) / QUARANTINE_DIRNAME
+    entries = 0
+    size = 0
+    if quarantine.is_dir():
+        for path in quarantine.rglob("*"):
+            try:
+                if path.is_file():
+                    entries += 1
+                    size += path.stat().st_size
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+    return {"entries": entries, "bytes": size}
 
 
 def default_cache_root() -> Path:
@@ -111,6 +156,17 @@ class ResultCache:
 
     def __init__(self, root: Path | str | None = None):
         self.root = Path(root) if root is not None else default_cache_root()
+        #: Corruption/quarantine tallies since the last :meth:`drain_stats`;
+        #: the runner drains them into the persisted ``_stats.json``.
+        self.recent_corrupt = 0
+        self.recent_quarantined = 0
+
+    def drain_stats(self) -> tuple[int, int]:
+        """``(corrupt, quarantined)`` tallied since the last drain; resets."""
+        drained = (self.recent_corrupt, self.recent_quarantined)
+        self.recent_corrupt = 0
+        self.recent_quarantined = 0
+        return drained
 
     @staticmethod
     def _check_experiment_name(experiment: str) -> str:
@@ -122,23 +178,43 @@ class ResultCache:
     def _path(self, experiment: str, key: str) -> Path:
         return self.root / self._check_experiment_name(experiment) / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Record + move one corrupt entry (read path behaves as a miss)."""
+        self.recent_corrupt += 1
+        if quarantine_entry(self.root, path) is not None:
+            self.recent_quarantined += 1
+
     def get(self, experiment: str, key: str) -> CacheEntry | None:
-        """The stored entry, or ``None`` on miss/corruption (corrupt = miss)."""
+        """The stored entry, or ``None`` on a miss.
+
+        Corrupt entries (any readable file that fails to parse into a
+        current-schema document) are quarantined so they stop being
+        re-read on every probe and stay inspectable; the caller simply
+        sees a miss and recomputes.
+        """
         path = self._path(experiment, key)
         try:
-            document = json.loads(path.read_text())
-        except (OSError, ValueError):  # unreadable, non-UTF-8 or invalid JSON
+            blob = path.read_bytes()
+        except OSError:  # missing or unreadable: a plain miss, not corruption
+            return None
+        try:
+            document = json.loads(blob)
+        except ValueError:  # non-UTF-8 bytes or invalid JSON
+            self._quarantine(path)
             return None
         if not isinstance(document, dict) or document.get("schema") != SCHEMA_VERSION:
+            self._quarantine(path)
             return None
         try:
             return CacheEntry.from_document(document)
         except (KeyError, TypeError, ValueError, AttributeError):
+            self._quarantine(path)
             return None
 
     def put(self, key: str, entry: CacheEntry) -> Path:
         """Atomically persist one entry; returns its path."""
         path = self._path(entry.experiment, key)
+        fault_point("cache.write", key=entry.experiment)
         path.parent.mkdir(parents=True, exist_ok=True)
         document = json.dumps(entry.to_document(), indent=1)
         descriptor, temp_name = tempfile.mkstemp(
@@ -154,6 +230,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        fault_point("cache.written", key=entry.experiment, path=path)
         return path
 
     def entries(self, experiment: str | None = None) -> Iterator[tuple[str, Path]]:

@@ -26,13 +26,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import shutil
 import sys
 import time
 from pathlib import Path
 
 from ..analysis.reporting import format_table, to_csv
 from .artifacts import ArtifactStore, load_stats, reset_stats
-from .cache import ResultCache, default_cache_root
+from .cache import ResultCache, default_cache_root, quarantine_summary
 from .errors import ExecutionError, ParamError, ReproError, UnknownExperimentError
 from .registry import ExperimentSpec
 from .service import ExperimentRunner, RunReport
@@ -90,7 +91,25 @@ def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="KEY=VALUE",
         help="parameter override (repeatable; single experiment target only)",
     )
+    _add_policy_arguments(parser)
     _add_cache_arguments(parser)
+
+
+def _add_policy_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget for parallel workers (default: unbounded)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per unit after a worker crash/timeout (default: 2)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--param", action="append", default=[], metavar="KEY=VALUE", help="fixed override")
     sweep_parser.add_argument("--jobs", type=int, default=1, metavar="N")
     sweep_parser.add_argument("--no-cache", action="store_true")
+    _add_policy_arguments(sweep_parser)
     sweep_format = sweep_parser.add_mutually_exclusive_group()
     sweep_format.add_argument("--json", action="store_true")
     sweep_format.add_argument("--csv", action="store_true")
@@ -146,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--rate-burst", type=int, default=None, metavar="N", help="rate-limiter burst capacity (default 2*R)"
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        metavar="N",
+        help="max queued+running jobs before submissions are shed with 503 (default 64)",
+    )
+    serve_parser.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="how long shutdown waits for in-flight jobs (default 10)",
+    )
+    serve_parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="job-journal directory (default: <cache root>/jobs)",
     )
     _add_cache_arguments(serve_parser)
 
@@ -207,7 +247,14 @@ def _collect_reports(runner: ExperimentRunner, args: argparse.Namespace) -> list
     if getattr(args, "csv", False) and not args.out and len(targets) != 1:
         raise CliError("error: --csv to stdout requires exactly one experiment (or use --out DIR)")
     overrides = _typed_overrides(runner.spec(targets[0]), args.param) if args.param else {}
-    return _api().run_all(targets, overrides or None, runner=runner, jobs=args.jobs)
+    return _api().run_all(
+        targets,
+        overrides or None,
+        runner=runner,
+        jobs=args.jobs,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", None),
+    )
 
 
 def _write_timing_json(path: str, reports: list[RunReport], *, jobs: int, total_seconds: float) -> None:
@@ -288,7 +335,15 @@ def _command_sweep(args: argparse.Namespace) -> int:
             raise CliError(f"error: --grid {key}= names no values")
         grid[key] = values
     fixed = _typed_overrides(spec, args.param)
-    outcome = api.sweep(spec.name, grid, fixed, runner=runner, jobs=args.jobs)
+    outcome = api.sweep(
+        spec.name,
+        grid,
+        fixed,
+        runner=runner,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+    )
     records = outcome.records
     if args.out:
         Path(args.out).parent.mkdir(parents=True, exist_ok=True)
@@ -314,11 +369,14 @@ def _command_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
+        max_queue=args.max_queue,
+        drain_seconds=args.drain_seconds,
+        state_dir=args.state_dir,
     )
 
 
 def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, object]:
-    """Entry counts, bytes and hit/miss counters of both stores."""
+    """Entry counts, bytes, hit/miss counters and corruption/recovery tallies."""
     result_entries = cache.ls()
     artifact_entries = store.ls()
     counters = load_stats(cache.root)
@@ -329,12 +387,20 @@ def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, 
             "bytes": sum(int(entry["size_bytes"] or 0) for entry in result_entries),
             "hits": counters.result_hits,
             "misses": counters.result_misses,
+            "corrupt": counters.result_corrupt,
+            "quarantine": quarantine_summary(cache.root),
         },
         "artifacts": {
             "entries": len(artifact_entries),
             "bytes": sum(int(entry["size_bytes"] or 0) for entry in artifact_entries),
             "hits": counters.artifact_hits,
             "misses": counters.artifact_misses,
+            "corrupt": counters.artifact_corrupt,
+            "quarantine": quarantine_summary(store.root),
+        },
+        "recovery": {
+            "quarantined": counters.quarantined,
+            "retried": counters.retried,
         },
     }
 
@@ -365,10 +431,18 @@ def _command_cache(args: argparse.Namespace) -> int:
                 "bytes": section["bytes"],
                 "hits": section["hits"],
                 "misses": section["misses"],
+                "corrupt": section["corrupt"],
+                "quarantined": section["quarantine"]["entries"],
             }
             for name, section in (("results", summary["results"]), ("artifacts", summary["artifacts"]))
         ]
         print(format_table(rows, title=f"cache stats at {cache.root} (counters since last clear)"))
+        recovery = summary["recovery"]
+        print(
+            f"recovery: {recovery['retried']} unit retr{'y' if recovery['retried'] == 1 else 'ies'}, "
+            f"{recovery['quarantined']} quarantined entr{'y' if recovery['quarantined'] == 1 else 'ies'}",
+            file=sys.stderr,
+        )
         return 0
     try:
         removed = cache.clear(args.experiment)
@@ -377,9 +451,11 @@ def _command_cache(args: argparse.Namespace) -> int:
     removed_artifacts = 0
     if args.experiment is None:
         # A full clear also empties the artifact store (artifacts are shared
-        # across experiments, so a per-experiment clear keeps them) and
-        # resets the hit/miss counters.
+        # across experiments, so a per-experiment clear keeps them), drops
+        # both quarantine sidecars and resets the hit/miss counters.
         removed_artifacts = store.clear()
+        for root in (cache.root, store.root):
+            shutil.rmtree(root / "corrupt", ignore_errors=True)
         reset_stats(cache.root)
     print(
         f"removed {removed} cached result(s) and {removed_artifacts} artifact(s) from {cache.root}"

@@ -81,3 +81,19 @@ class ExecutionError(ReproError):
     """An experiment driver raised while computing; the cause is chained."""
 
     code = "execution_error"
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died (kill/OOM/segfault) and the retry budget ran out.
+
+    The executor retries crashed units on a respawned pool before raising
+    this; seeing it means the crash reproduced past every retry.
+    """
+
+    code = "worker_crashed"
+
+
+class UnitTimeoutError(ExecutionError):
+    """A unit exceeded its wall-clock timeout on every allowed attempt."""
+
+    code = "unit_timeout"

@@ -28,6 +28,7 @@ rendering/export code never needs to know which path produced them.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
@@ -35,10 +36,12 @@ from typing import Callable, Mapping
 from .artifacts import ArtifactStore, StoreStats, artifact_key, record_stats
 from .cache import CacheEntry, ResultCache, cache_key, run_provenance
 from .errors import UnknownExperimentError
-from .executor import execute_requests, produce_artifacts
+from .executor import ExecutionOutcome, ExecutionPolicy, execute_requests, produce_artifacts
 from .fingerprint import code_fingerprint
 from .registry import ExperimentSpec, build_registry
 from ..analysis.sweep import SweepResult, sanitize_value
+
+logger = logging.getLogger(__name__)
 
 #: Progress callback for :meth:`ExperimentRunner.run_many`: receives one dict
 #: per lifecycle event (``planned`` / ``artifact_wave`` / ``artifact_wave_done``
@@ -258,7 +261,13 @@ class ExperimentRunner:
         return list(units.values())
 
     def _ensure_artifacts(
-        self, units: list[ArtifactUnit], *, jobs: int | None, observer: Observer | None = None
+        self,
+        units: list[ArtifactUnit],
+        *,
+        jobs: int | None,
+        observer: Observer | None = None,
+        policy: ExecutionPolicy | None = None,
+        outcome: ExecutionOutcome | None = None,
     ) -> StoreStats:
         """Produce the missing units, one wave per topological level."""
         stats = StoreStats()
@@ -281,7 +290,12 @@ class ExperimentRunner:
                     }
                 )
             if missing:
-                produce_artifacts([unit.task(store_root) for unit in missing], jobs=jobs)
+                produce_artifacts(
+                    [unit.task(store_root) for unit in missing],
+                    jobs=jobs,
+                    policy=policy,
+                    outcome=outcome,
+                )
             if observer is not None:
                 observer({"event": "artifact_wave_done", "level": level, "produced": len(missing)})
         return stats
@@ -294,6 +308,7 @@ class ExperimentRunner:
         *,
         jobs: int | None = None,
         observer: Observer | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> list[RunReport]:
         """Run ``(name, overrides)`` requests; cold ones fan out over ``jobs``.
 
@@ -301,8 +316,11 @@ class ExperimentRunner:
         the parent, artifact waves and executions in workers, cache writes
         back in the parent -- a single writer keeps the on-disk store simple.
         ``observer`` (when given) receives progress events: the plan, each
-        artifact wave, and the experiment fan-out.
+        artifact wave, and the experiment fan-out.  ``policy`` tunes the
+        executor's per-unit timeout / retry / respawn behaviour
+        (:data:`~repro.runner.executor.DEFAULT_POLICY` when ``None``).
         """
+        outcome = ExecutionOutcome()
         prepared: list[RunReport | None] = []
         cold: list[tuple[int, str, dict[str, object], str]] = []
         cold_position: dict[str, int] = {}  # key -> index into `cold` (dedupe)
@@ -357,30 +375,43 @@ class ExperimentRunner:
                 units = self._plan_artifacts(
                     [(name, config) for _index, name, config, _key in cold]
                 )
-                stats = stats.add(self._ensure_artifacts(units, jobs=jobs, observer=observer))
+                stats = stats.add(
+                    self._ensure_artifacts(
+                        units, jobs=jobs, observer=observer, policy=policy, outcome=outcome
+                    )
+                )
                 artifacts_root = str(self.artifacts.root)
             if observer is not None:
                 observer({"event": "executing", "experiments": len(cold)})
-            outcomes = execute_requests(
+            results = execute_requests(
                 [(name, config) for _index, name, config, _key in cold],
                 jobs=jobs,
                 artifacts_root=artifacts_root,
                 registry=self.registry,
+                policy=policy,
+                outcome=outcome,
             )
-            for (index, name, config, key), (rows, elapsed) in zip(cold, outcomes):
+            for (index, name, config, key), (rows, elapsed) in zip(cold, results):
                 spec = self.spec(name)
                 if self.use_cache:
-                    self.cache.put(
-                        key,
-                        CacheEntry(
-                            experiment=name,
-                            params=json.loads(spec.canonical_json(config)),
-                            fingerprint=fingerprints[name],
-                            result=SweepResult(records=rows),
-                            elapsed_seconds=elapsed,
-                            provenance=run_provenance(),
-                        ),
-                    )
+                    try:
+                        self.cache.put(
+                            key,
+                            CacheEntry(
+                                experiment=name,
+                                params=json.loads(spec.canonical_json(config)),
+                                fingerprint=fingerprints[name],
+                                result=SweepResult(records=rows),
+                                elapsed_seconds=elapsed,
+                                provenance=run_provenance(),
+                            ),
+                        )
+                    except OSError as error:  # full/read-only disk: serve uncached
+                        logger.warning(
+                            "result cache write failed for %s (%s); continuing uncached",
+                            name,
+                            error,
+                        )
                 prepared[index] = RunReport(
                     name=name,
                     rows=rows,
@@ -403,15 +434,35 @@ class ExperimentRunner:
                     key=source.key,
                     fingerprint=source.fingerprint,
                 )
+        result_corrupt, result_quarantined = self.cache.drain_stats()
+        artifact_corrupt, artifact_quarantined = self.artifacts.drain_stats()
+        stats.result_corrupt += result_corrupt
+        stats.artifact_corrupt += artifact_corrupt
+        stats.quarantined += result_quarantined + artifact_quarantined
+        stats.retried += outcome.retries
         if self.use_cache or self.use_artifacts:
-            record_stats(self.cache.root, stats)
+            try:
+                record_stats(self.cache.root, stats)
+            except OSError as error:  # stats are best-effort observability
+                logger.warning("could not persist cache stats (%s)", error)
         if observer is not None:
-            observer({"event": "executed", "experiments": len(cold)})
+            observer(
+                {
+                    "event": "executed",
+                    "experiments": len(cold),
+                    "retries": outcome.retries,
+                    "crashes": outcome.crashes,
+                    "timeouts": outcome.timeouts,
+                    "degraded": outcome.degraded,
+                }
+            )
         return [report for report in prepared if report is not None]
 
-    def run_all(self, *, jobs: int | None = None) -> list[RunReport]:
+    def run_all(
+        self, *, jobs: int | None = None, policy: ExecutionPolicy | None = None
+    ) -> list[RunReport]:
         """Every registered experiment with default configs, registry order."""
-        return self.run_many([(name, {}) for name in self.registry], jobs=jobs)
+        return self.run_many([(name, {}) for name in self.registry], jobs=jobs, policy=policy)
 
     def render(self, report: RunReport) -> str:
         """Driver-formatted text for a report's rows (live or cached alike)."""

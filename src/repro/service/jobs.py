@@ -11,24 +11,54 @@ Idempotency keys collapse duplicate submissions: re-submitting the same
 key returns the original job (so network-level retries of a ``POST``
 cannot double-compute), while the same key with a *different* payload is
 a conflict.
+
+Durability and overload (PR 7):
+
+* with a ``state_dir``, every job state transition is journaled to disk
+  (fsynced append to ``journal.jsonl``, compacted into ``snapshot.json``
+  on startup), so ``GET /v1/jobs`` survives a service restart.  Jobs that
+  were queued or running when the process died come back ``interrupted``
+  and can be re-run via ``POST /v1/jobs/{id}/retry``.  Journaled records
+  never include report/sweep payloads -- results live in the result
+  cache, so a re-run of a finished config is a warm hit;
+* the queue is bounded: submissions past ``max_queue`` are shed with a
+  503 and the stable ``overloaded`` error code plus a ``Retry-After``
+  hint, instead of accepting unbounded memory growth;
+* :meth:`JobManager.close` drains in-flight jobs for a bounded deadline
+  and marks whatever is still unfinished ``interrupted`` (journaled), so
+  SIGTERM never silently loses a job.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
+import os
+import tempfile
 import threading
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from .models import ServiceError
 from .. import api
+from ..faults import fault_point
 from ..runner.service import ExperimentRunner
 
-#: Job lifecycle states, in order.
-QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+logger = logging.getLogger(__name__)
+
+#: Job lifecycle states, in order (``interrupted`` = the service died or
+#: shut down while the job was queued/running; re-runnable via retry).
+QUEUED, RUNNING, DONE, FAILED, INTERRUPTED = (
+    "queued",
+    "running",
+    "done",
+    "failed",
+    "interrupted",
+)
 
 
 @dataclass
@@ -75,19 +105,164 @@ class JobRecord:
             document["sweep"] = self.sweep
         return document
 
+    def to_journal(self) -> dict[str, object]:
+        """The journaled form: full record minus report/sweep payloads.
+
+        Results are reproducible from the result cache, so persisting them
+        twice would only bloat the journal; a restarted service reports
+        finished jobs with ``"results_persisted": false``.
+        """
+        document = self.to_jsonable()
+        document.pop("reports", None)
+        document.pop("sweep", None)
+        document["idempotency_key"] = self.idempotency_key
+        return document
+
+    @classmethod
+    def from_journal(cls, document: dict[str, object]) -> "JobRecord":
+        """Rebuild a record from its journaled form (payloads stay absent)."""
+        return cls(
+            id=str(document["id"]),
+            kind=str(document["kind"]),
+            experiments=[str(name) for name in document["experiments"]],
+            params=dict(document.get("params") or {}),
+            grid=dict(document["grid"]) if document.get("grid") is not None else None,
+            jobs=int(document.get("jobs") or 1),
+            request_id=str(document.get("request_id") or ""),
+            idempotency_key=document.get("idempotency_key"),
+            state=str(document.get("state") or QUEUED),
+            created_unix=float(document.get("created_unix") or 0.0),
+            started_unix=document.get("started_unix"),
+            finished_unix=document.get("finished_unix"),
+            error=dict(document["error"]) if document.get("error") else None,
+            progress=dict(document.get("progress") or {}),
+        )
+
+
+class JobJournal:
+    """Crash-safe persistence of job records: fsynced append + snapshot.
+
+    Every state transition appends the record's full journaled form as one
+    JSON line; startup folds ``snapshot.json`` + ``journal.jsonl``
+    (last write per id wins), rewrites the snapshot and truncates the
+    journal.  A torn final line (crash mid-append) is skipped -- the
+    previous write for that job still holds.
+    """
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.snapshot_path = self.root / "snapshot.json"
+        self.journal_path = self.root / "journal.jsonl"
+
+    def append(self, document: dict[str, object]) -> None:
+        """Durably append one record state (best-effort on a failing disk)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with open(self.journal_path, "a") as handle:
+                handle.write(json.dumps(document, default=str) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            logger.warning("job journal append failed (%s); record kept in memory", error)
+
+    def load(self) -> list[dict[str, object]]:
+        """Fold snapshot + journal into submission-ordered record documents."""
+        documents: dict[str, dict[str, object]] = {}
+        try:
+            snapshot = json.loads(self.snapshot_path.read_text())
+            if isinstance(snapshot, list):
+                for document in snapshot:
+                    if isinstance(document, dict) and "id" in document:
+                        documents[str(document["id"])] = document
+        except (OSError, ValueError):
+            pass
+        try:
+            lines = self.journal_path.read_text().splitlines()
+        except OSError:
+            lines = []
+        for line in lines:
+            try:
+                document = json.loads(line)
+            except ValueError:  # torn tail line from a crash mid-append
+                continue
+            if isinstance(document, dict) and "id" in document:
+                documents[str(document["id"])] = document
+        return sorted(documents.values(), key=lambda doc: float(doc.get("created_unix") or 0.0))
+
+    def compact(self, documents: list[dict[str, object]]) -> None:
+        """Rewrite the snapshot atomically and truncate the journal."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            descriptor, temp_name = tempfile.mkstemp(dir=self.root, prefix=".snapshot-", suffix=".tmp")
+            with os.fdopen(descriptor, "w") as handle:
+                handle.write(json.dumps(documents, default=str, indent=1))
+            os.replace(temp_name, self.snapshot_path)
+            with open(self.journal_path, "w") as handle:
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as error:
+            logger.warning("job journal compaction failed (%s)", error)
+
 
 class JobManager:
     """Submission, idempotency collapse and execution of background jobs."""
 
-    def __init__(self, runner: ExperimentRunner, *, jobs: int = 1):
+    def __init__(
+        self,
+        runner: ExperimentRunner,
+        *,
+        jobs: int = 1,
+        max_queue: int = 64,
+        state_dir: Path | str | None = None,
+    ):
         self.runner = runner
         self.default_jobs = max(1, jobs)
+        self.max_queue = max(1, max_queue)
         self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
         self._records: dict[str, JobRecord] = {}
         self._order: list[str] = []
         self._by_key: dict[str, tuple[str, str]] = {}  # idempotency key -> (job id, payload digest)
         self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-job")
         self._in_flight = 0
+        self._journal = JobJournal(state_dir) if state_dir is not None else None
+        if self._journal is not None:
+            self._restore()
+
+    def _restore(self) -> None:
+        """Replay the journal: finished jobs verbatim, unfinished -> interrupted."""
+        for document in self._journal.load():
+            try:
+                record = JobRecord.from_journal(document)
+            except (KeyError, TypeError, ValueError):
+                logger.warning("skipping malformed journaled job record")
+                continue
+            if record.state in (QUEUED, RUNNING):
+                record.state = INTERRUPTED
+                record.finished_unix = record.finished_unix or time.time()
+                record.error = {
+                    "code": "interrupted",
+                    "message": "the service stopped while this job was in flight; retry to re-run",
+                }
+                record.progress["phase"] = "interrupted"
+            self._records[record.id] = record
+            self._order.append(record.id)
+            if record.idempotency_key is not None:
+                digest = self._payload_digest(
+                    {
+                        "kind": record.kind,
+                        "experiments": record.experiments,
+                        "params": record.params,
+                        "grid": record.grid,
+                    }
+                )
+                self._by_key[record.idempotency_key] = (record.id, digest)
+        self._journal.compact([self._records[job_id].to_journal() for job_id in self._order])
+
+    def _journal_append(self, record: JobRecord) -> None:
+        """Persist one state transition (no-op without a state dir)."""
+        if self._journal is not None:
+            self._journal.append(record.to_journal())
 
     # -- submission -------------------------------------------------------------
 
@@ -128,6 +303,7 @@ class JobManager:
                             f"idempotency key {idempotency_key!r} was already used with a different payload",
                         )
                     return self._records[job_id], False
+            self._check_capacity()
             record = JobRecord(
                 id=f"job-{uuid.uuid4().hex[:12]}",
                 kind=kind,
@@ -143,8 +319,57 @@ class JobManager:
             if idempotency_key is not None:
                 self._by_key[idempotency_key] = (record.id, digest)
             self._in_flight += 1
+            self._journal_append(record)
         self._pool.submit(self._execute, record.id)
         return record, True
+
+    def _check_capacity(self) -> None:
+        """Shed load once the queue is full (called with the lock held)."""
+        if self._in_flight < self.max_queue:
+            return
+        # One in-flight job is actively computing; everything else waits
+        # behind it, so "queue length x a nominal per-job minute" is an
+        # honest first-order hint for when capacity frees up.
+        raise ServiceError(
+            503,
+            "overloaded",
+            f"job queue is full ({self._in_flight} in flight, limit {self.max_queue}); retry later",
+            retry_after=min(300.0, 5.0 * self._in_flight),
+        )
+
+    def resubmit(self, job_id: str, *, request_id: str = "") -> JobRecord:
+        """Re-queue an ``interrupted``/``failed`` job for a fresh run.
+
+        The original record is reset in place (same id, same payload), so a
+        client that discovered the interruption via ``GET /v1/jobs`` can
+        retry without re-posting the payload.  Finished configs replay
+        from the result cache, so retrying a job whose work actually
+        completed before the crash is a warm no-op.
+        """
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise ServiceError(404, "unknown_job", f"no job {job_id!r}")
+            if record.state not in (INTERRUPTED, FAILED):
+                raise ServiceError(
+                    409,
+                    "not_retryable",
+                    f"job {job_id!r} is {record.state}; only interrupted/failed jobs can be retried",
+                )
+            self._check_capacity()
+            record.state = QUEUED
+            record.started_unix = None
+            record.finished_unix = None
+            record.error = None
+            record.progress = {}
+            record.reports = None
+            record.sweep = None
+            if request_id:
+                record.request_id = request_id
+            self._in_flight += 1
+            self._journal_append(record)
+        self._pool.submit(self._execute, record.id)
+        return record
 
     # -- queries ----------------------------------------------------------------
 
@@ -172,7 +397,7 @@ class JobManager:
 
     def counts(self) -> dict[str, int]:
         with self._lock:
-            by_state = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED)}
+            by_state = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED, INTERRUPTED)}
             for record in self._records.values():
                 by_state[record.state] = by_state.get(record.state, 0) + 1
             by_state["in_flight"] = self._in_flight
@@ -220,9 +445,13 @@ class JobManager:
     def _execute(self, job_id: str) -> None:
         record = self.get(job_id)
         with self._lock:
+            if record.state != QUEUED:  # cancelled/interrupted while queued
+                return
             record.state = RUNNING
             record.started_unix = time.time()
+            self._journal_append(record)
         try:
+            fault_point("service.job", key=job_id)
             if record.kind == "sweep":
                 outcome = api.sweep(
                     record.experiments[0],
@@ -258,6 +487,40 @@ class JobManager:
             with self._lock:
                 record.finished_unix = time.time()
                 self._in_flight -= 1
+                self._journal_append(record)
+                self._drained.notify_all()
 
-    def close(self, *, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait, cancel_futures=True)
+    def close(self, *, wait: bool = True, drain_seconds: float = 10.0) -> int:
+        """Drain in-flight jobs, then shut the worker thread down.
+
+        Waits up to ``drain_seconds`` (``wait=False`` skips the wait) for
+        in-flight jobs to finish; whatever is still queued or running at
+        the deadline is marked ``interrupted`` (and journaled) so a client
+        polling ``GET /v1/jobs`` sees an honest terminal state and can
+        retry.  Returns the number of jobs interrupted.
+        """
+        if wait and drain_seconds > 0:
+            deadline = time.monotonic() + drain_seconds
+            with self._drained:
+                while self._in_flight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._drained.wait(timeout=remaining):
+                        break
+        interrupted = 0
+        with self._lock:
+            for record in self._records.values():
+                if record.state in (QUEUED, RUNNING):
+                    record.state = INTERRUPTED
+                    record.finished_unix = time.time()
+                    record.error = {
+                        "code": "interrupted",
+                        "message": "the service shut down before this job finished; retry to re-run",
+                    }
+                    record.progress["phase"] = "interrupted"
+                    interrupted += 1
+                    self._journal_append(record)
+        # cancel_futures drops still-queued work; a genuinely hung running
+        # job cannot be force-killed (it is a thread), so we do not block
+        # on it -- its record already says interrupted.
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        return interrupted

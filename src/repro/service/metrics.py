@@ -78,6 +78,7 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.cache_misses = 0
         self.rate_limited = 0
+        self.shed = 0  # 503s: submissions rejected by the bounded job queue
         #: Installed by the app; reports job-state counts and in-flight gauge.
         self.job_counts: Callable[[], dict[str, int]] = lambda: {}
 
@@ -88,6 +89,8 @@ class ServiceMetrics:
             self.latency.setdefault(route, LatencyHistogram()).observe(seconds)
             if status == 429:
                 self.rate_limited += 1
+            if status == 503:
+                self.shed += 1
 
     def record_cache(self, hit: bool) -> None:
         with self._lock:
@@ -105,6 +108,7 @@ class ServiceMetrics:
                     "total": total,
                     "by_route": {route: dict(by_status) for route, by_status in sorted(self.requests.items())},
                     "rate_limited": self.rate_limited,
+                    "shed": self.shed,
                 },
                 "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
                 "jobs": self.job_counts(),

@@ -35,9 +35,22 @@ class TokenBucket:
     ``rate`` tokens/second refill up to ``burst`` capacity per client key;
     each request spends one token.  :meth:`check` returns 0.0 when the
     request may proceed, else the seconds to wait before a token is
-    available (rendered as ``Retry-After``).  Client state is bounded: the
-    least-recently-seen buckets are evicted past ``max_clients``.
+    available (rendered as ``Retry-After``).
+
+    Client state is bounded two ways.  Buckets idle past
+    ``max_idle_seconds`` are expired (swept amortised, every
+    :data:`SWEEP_EVERY` checks) -- an expired bucket and a fresh one are
+    behaviourally identical, so expiry never changes a limiting decision,
+    it only caps memory.  Past ``max_clients`` the bucket *closest to
+    full* (after refill) is evicted: dropping a full bucket is a
+    semantic no-op, so a burst of one-shot clients (e.g. a scan walking
+    source addresses) can never evict the drained state of a client that
+    is actively being limited -- which is exactly the state an attacker
+    would want reset.
     """
+
+    #: Amortisation period of the idle-bucket sweep, in ``check`` calls.
+    SWEEP_EVERY = 64
 
     def __init__(
         self,
@@ -46,6 +59,7 @@ class TokenBucket:
         *,
         clock: Callable[[], float] = time.monotonic,
         max_clients: int = 1024,
+        max_idle_seconds: float = 300.0,
     ):
         if rate <= 0:
             raise ValueError("rate must be positive (use no limiter to disable)")
@@ -53,21 +67,43 @@ class TokenBucket:
         self.burst = float(burst if burst is not None else max(1, round(2 * rate)))
         self._clock = clock
         self._max_clients = max_clients
+        self._max_idle = float(max_idle_seconds)
         self._lock = threading.Lock()
         self._buckets: dict[str, tuple[float, float]] = {}  # key -> (tokens, stamp)
+        self._checks = 0
+
+    def _expire(self, now: float) -> None:
+        """Drop idle buckets (lock held).  An expired bucket = a full one."""
+        cutoff = now - self._max_idle
+        stale = [key for key, (_tokens, stamp) in self._buckets.items() if stamp <= cutoff]
+        for key in stale:
+            del self._buckets[key]
 
     def check(self, key: str = "") -> float:
         """Spend one token for ``key``; 0.0 = allowed, else retry-after seconds."""
         now = self._clock()
         with self._lock:
+            self._checks += 1
+            if self._checks % self.SWEEP_EVERY == 0:
+                self._expire(now)
             tokens, stamp = self._buckets.pop(key, (self.burst, now))
+            if now - stamp >= self._max_idle:  # idle past expiry = fresh bucket
+                tokens, stamp = self.burst, now
             tokens = min(self.burst, tokens + (now - stamp) * self.rate)
             allowed = tokens >= 1.0
             if allowed:
                 tokens -= 1.0
             self._buckets[key] = (tokens, now)  # reinsert last = most recently seen
             if len(self._buckets) > self._max_clients:
-                self._buckets.pop(next(iter(self._buckets)))
+                self._expire(now)
+            if len(self._buckets) > self._max_clients:
+                # Still over: evict the fullest bucket (ties -> stalest),
+                # i.e. the one whose loss changes future decisions least.
+                def fullness(name: str) -> tuple[float, float]:
+                    held, seen = self._buckets[name]
+                    return (min(self.burst, held + (now - seen) * self.rate), -seen)
+
+                del self._buckets[max(self._buckets, key=fullness)]
             return 0.0 if allowed else (1.0 - tokens) / self.rate
 
 

@@ -51,10 +51,14 @@ class ServiceApp:
         jobs: int = 1,
         rate_limit: float = 0.0,
         rate_burst: int | None = None,
+        max_queue: int = 64,
+        drain_seconds: float = 10.0,
+        state_dir: str | None = None,
     ):
         self.runner = runner
         self.metrics = ServiceMetrics()
-        self.jobs = JobManager(runner, jobs=jobs)
+        self.jobs = JobManager(runner, jobs=jobs, max_queue=max_queue, state_dir=state_dir)
+        self.drain_seconds = drain_seconds
         self.metrics.job_counts = self.jobs.counts
         self.limiter = TokenBucket(rate_limit, rate_burst) if rate_limit > 0 else None
         self._routes: list[tuple[str, str, re.Pattern[str], Handler]] = [
@@ -67,6 +71,7 @@ class ServiceApp:
                 ("POST", "/v1/jobs", self.post_job),
                 ("GET", "/v1/jobs", self.get_jobs),
                 ("GET", "/v1/jobs/{id}", self.get_job),
+                ("POST", "/v1/jobs/{id}/retry", self.post_job_retry),
             )
         ]
 
@@ -211,10 +216,19 @@ class ServiceApp:
     async def get_job(self, _request: Request, path_params: dict[str, str]) -> Response:
         return Response(200, self.jobs.get(path_params["id"]).to_jsonable())
 
+    async def post_job_retry(self, request: Request, path_params: dict[str, str]) -> Response:
+        """Re-queue an interrupted/failed job (202) under its original id."""
+        record = self.jobs.resubmit(path_params["id"], request_id=request.request_id)
+        return Response(
+            202,
+            {"job": record.to_jsonable(), "request_id": request.request_id},
+            headers={"location": f"/v1/jobs/{record.id}"},
+        )
+
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
-        self.jobs.close()
+        self.jobs.close(drain_seconds=self.drain_seconds)
 
 
 def build_app(
@@ -223,6 +237,9 @@ def build_app(
     jobs: int = 1,
     rate_limit: float = 0.0,
     rate_burst: int | None = None,
+    max_queue: int = 64,
+    drain_seconds: float = 10.0,
+    state_dir: str | None = None,
 ) -> ServiceApp:
     """The app ``repro.api.serve`` (and the test harness) boots."""
     return ServiceApp(
@@ -230,4 +247,7 @@ def build_app(
         jobs=jobs,
         rate_limit=rate_limit,
         rate_burst=rate_burst,
+        max_queue=max_queue,
+        drain_seconds=drain_seconds,
+        state_dir=state_dir,
     )

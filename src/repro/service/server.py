@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 from dataclasses import dataclass, field
 from urllib.parse import parse_qsl, unquote, urlsplit
@@ -36,6 +37,7 @@ _REASONS = {
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -193,16 +195,36 @@ def bound_port(server: asyncio.base_events.Server) -> int:
 def serve_forever(app, *, host: str = "127.0.0.1", port: int = 8080) -> int:
     """Blocking server loop behind ``python -m repro serve``.
 
-    Returns 0 on a clean (Ctrl-C) shutdown; the app is closed (draining
-    its job threads) on the way out.
+    Returns 0 on a clean shutdown (Ctrl-C, or SIGTERM from a supervisor).
+    SIGTERM/SIGINT stop the accept loop, then the app is closed -- which
+    drains in-flight jobs for its configured deadline and journals
+    whatever could not finish as ``interrupted`` -- so an orchestrator's
+    ordinary stop signal never silently loses work.
     """
 
     async def main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed: list[signal.Signals] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+                pass
         server = await start_http_server(app, host, port)
         actual = bound_port(server)
         print(f"serving the reproduction on http://{host}:{actual} (Ctrl-C to stop)", flush=True)
-        async with server:
-            await server.serve_forever()
+        try:
+            async with server:
+                if installed:
+                    await stop.wait()
+                    print("shutdown signal received; draining jobs", flush=True)
+                else:  # pragma: no cover - platforms without signal handlers
+                    await server.serve_forever()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
 
     try:
         asyncio.run(main())

@@ -86,7 +86,12 @@ class TestArtifactStore:
         path.parent.mkdir(parents=True)
         path.write_bytes(b"not a pickle")
         assert store.get("unit", key) is None
-        assert store.exists("unit", key)  # presence probe is cheap, not validated
+        # The corrupt entry is quarantined aside, so the next probe is a
+        # clean miss and the producer recomputes into a fresh entry.
+        assert not path.exists()
+        assert (tmp_path / "corrupt" / "unit" / f"{key}.pkl").exists()
+        assert store.drain_stats() == (1, 1)
+        assert not store.exists("unit", key)
 
     def test_wrong_schema_version_is_a_miss(self, tmp_path):
         store = ArtifactStore(tmp_path)
@@ -188,6 +193,10 @@ class TestResolve:
             "result_misses": 0,
             "artifact_hits": 0,
             "artifact_misses": 0,
+            "result_corrupt": 0,
+            "artifact_corrupt": 0,
+            "quarantined": 0,
+            "retried": 0,
         }
         total = record_stats(tmp_path, StoreStats(result_hits=2, artifact_misses=1))
         total = record_stats(tmp_path, StoreStats(result_misses=1, artifact_hits=4))
@@ -591,7 +600,14 @@ class TestCliStats:
 
     def test_stats_round_trip_and_clear_resets(self, tmp_path, capsys):
         summary = self._stats(tmp_path, capsys)
-        assert summary["results"] == {"entries": 0, "bytes": 0, "hits": 0, "misses": 0}
+        assert summary["results"] == {
+            "entries": 0,
+            "bytes": 0,
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "quarantine": {"entries": 0, "bytes": 0},
+        }
 
         assert (
             main(
@@ -640,8 +656,17 @@ class TestCliStats:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         capsys.readouterr()
         summary = self._stats(tmp_path, capsys)
-        assert summary["results"] == {"entries": 0, "bytes": 0, "hits": 0, "misses": 0}
-        assert summary["artifacts"] == {"entries": 0, "bytes": 0, "hits": 0, "misses": 0}
+        empty = {
+            "entries": 0,
+            "bytes": 0,
+            "hits": 0,
+            "misses": 0,
+            "corrupt": 0,
+            "quarantine": {"entries": 0, "bytes": 0},
+        }
+        assert summary["results"] == empty
+        assert summary["artifacts"] == empty
+        assert summary["recovery"] == {"quarantined": 0, "retried": 0}
 
     def test_cache_ls_lists_artifacts(self, tmp_path, capsys):
         main(

@@ -229,15 +229,22 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         assert cache.get("table1", "0" * 64) is None
         key = cache_key("table1", "{}", "f" * 64)
-        cache.put(key, self._entry([{"a": 1}]))
         path = tmp_path / "table1" / f"{key}.json"
-        path.write_text("{not json")
-        assert cache.get("table1", key) is None  # corrupt entry = miss
-        path.write_bytes(b"\xff\xfe\x00garbage")  # non-UTF-8 corruption = miss too
-        assert cache.get("table1", key) is None
-        path.write_text('{"schema": 1, "result": "not-an-object"}')
-        assert cache.get("table1", key) is None
-        assert cache.ls()[0]["rows"] == 0  # ls survives wrong-shaped documents
+        quarantined = tmp_path / "corrupt" / "table1" / f"{key}.json"
+        for corruption in (
+            lambda: path.write_text("{not json"),
+            lambda: path.write_bytes(b"\xff\xfe\x00garbage"),  # non-UTF-8 bytes
+            lambda: path.write_text('{"schema": 1, "result": "not-an-object"}'),
+        ):
+            cache.put(key, self._entry([{"a": 1}]))
+            quarantined.unlink(missing_ok=True)
+            corruption()
+            assert cache.get("table1", key) is None  # corrupt entry = miss
+            assert not path.exists()  # ...and it was moved aside, not left in place
+            assert quarantined.exists()
+        assert cache.ls() == []  # quarantined entries are out of the listing
+        assert cache.drain_stats() == (3, 3)
+        assert cache.drain_stats() == (0, 0)  # draining resets
 
     def test_ls_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -326,10 +333,10 @@ class TestExperimentRunner:
         executed: list[int] = []
         real_execute = service_module.execute_requests
 
-        def counting_execute(requests, *, jobs=None, artifacts_root=None, registry=None):
+        def counting_execute(requests, *, jobs=None, artifacts_root=None, registry=None, **kwargs):
             executed.append(len(requests))
             return real_execute(
-                requests, jobs=jobs, artifacts_root=artifacts_root, registry=registry
+                requests, jobs=jobs, artifacts_root=artifacts_root, registry=registry, **kwargs
             )
 
         monkeypatch.setattr(service_module, "execute_requests", counting_execute)
