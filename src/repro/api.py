@@ -81,12 +81,17 @@ def make_runner(
     *,
     cache_dir: str | None = None,
     use_cache: bool = True,
+    cache_max_bytes: int | None = None,
     runner: ExperimentRunner | None = None,
 ) -> ExperimentRunner:
-    """The runner a facade call should use (an explicit one wins)."""
+    """The runner a facade call should use (an explicit one wins).
+
+    ``cache_max_bytes`` bounds the result cache with LRU eviction
+    (default ``$REPRO_CACHE_MAX_BYTES``, else unbounded).
+    """
     if runner is not None:
         return runner
-    cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
     return ExperimentRunner(cache=cache, use_cache=use_cache)
 
 
@@ -354,6 +359,7 @@ def serve(
     port: int = 8080,
     jobs: int = 1,
     cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
     rate_limit: float = 0.0,
     rate_burst: int | None = None,
     max_queue: int = 64,
@@ -372,7 +378,7 @@ def serve(
     """
     from .service import build_app, serve_forever
 
-    runner = make_runner(cache_dir=cache_dir)
+    runner = make_runner(cache_dir=cache_dir, cache_max_bytes=cache_max_bytes)
     app = build_app(
         runner=runner,
         jobs=jobs,

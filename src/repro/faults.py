@@ -58,7 +58,12 @@ body, key = artifact name), ``executor.sweep`` (sweep cell body),
 ``cache.write`` / ``cache.written`` (result-cache put, before/after the
 atomic replace; ``cache.written`` carries the entry path for
 ``corrupt``), ``artifact.write`` / ``artifact.written`` (artifact-store
-put), ``service.job`` (job thread, key = job id).
+put), ``cache.claim`` / ``artifact.claim`` (fired just after winning a
+first-writer-wins fill claim, key = experiment/artifact name -- ``kill``
+here is the claim winner dying mid-fill; losers must take over),
+``cache.evict`` / ``artifact.evict`` (fired per entry before LRU
+eviction deletes it, key = ``namespace/filename``), ``service.job``
+(job thread, key = job id).
 
 With ``REPRO_FAULTS`` unset every :func:`fault_point` is a cheap no-op.
 """

@@ -6,7 +6,10 @@ The runner unifies how the reproduction executes (PR 3, extended in PR 5):
   config canonicalization over ``repro.experiments.EXPERIMENTS``, plus the
   drivers' declared ``ARTIFACTS`` bindings;
 * :mod:`repro.runner.fingerprint` -- static import-closure code fingerprints;
-* :mod:`repro.runner.cache` -- the content-addressed on-disk result cache
+* :mod:`repro.runner.backends` -- the pluggable :class:`StoreBackend`
+  protocol (disk + in-memory), first-writer-wins fill claims and LRU
+  eviction shared by both stores;
+* :mod:`repro.runner.cache` -- the content-addressed result cache
   (key = experiment + canonical params + code fingerprint);
 * :mod:`repro.runner.artifacts` -- the content-addressed store for shared
   sub-experiment intermediates (key = artifact + canonical params +
@@ -33,6 +36,14 @@ from .artifacts import (
     reset_stats,
     resolve_artifact,
 )
+from .backends import (
+    ClaimTicket,
+    DiskBackend,
+    MemoryBackend,
+    StoreBackend,
+    evict_lru,
+    wait_for_fill,
+)
 from .cache import CacheEntry, ResultCache, cache_key, default_cache_root
 from .cli import CliError, main
 from .errors import (
@@ -55,8 +66,14 @@ __all__ = [
     "ArtifactStore",
     "ArtifactUnit",
     "CacheEntry",
+    "ClaimTicket",
+    "DiskBackend",
+    "MemoryBackend",
     "ResultCache",
+    "StoreBackend",
     "StoreStats",
+    "evict_lru",
+    "wait_for_fill",
     "activated",
     "active_store",
     "artifact_key",

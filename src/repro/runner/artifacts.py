@@ -27,12 +27,21 @@ Two layers use the store:
   scheduler's wave); without one they compute inline, so direct driver
   calls behave exactly as before the store existed.
 
+Concurrent fillers (workers in one run, or whole fleets sharing a store)
+coordinate through the same first-writer-wins claims as the result cache:
+:func:`produce_into` computes only after winning the fill claim, and
+losers wait for the winner's entry instead of duplicating the work.  A
+``max_bytes`` budget (``$REPRO_ARTIFACTS_MAX_BYTES``; deliberately
+separate from the result cache's cap, so a tight result budget cannot
+thrash multi-MB trained networks) bounds the store with LRU eviction.
+
 Entries are pickles, which is safe here for the same reason the result
 cache's JSON is trusted: the store root is a local directory owned by the
 user running the experiments.  This module deliberately imports nothing
-from the runner package except :mod:`~repro.runner.fingerprint`, so a
-driver's lazy ``from ..runner.artifacts import ...`` keeps the result
-cache and CLI out of its fingerprint closure.
+from the runner package except :mod:`~repro.runner.fingerprint` and the
+stdlib-only :mod:`~repro.runner.backends`, so a driver's lazy
+``from ..runner.artifacts import ...`` keeps the result cache and CLI
+out of its fingerprint closure.
 """
 
 from __future__ import annotations
@@ -44,13 +53,20 @@ import json
 import logging
 import os
 import pickle
-import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Mapping
 
 from ..faults import fault_point
+from .backends import (
+    ClaimTicket,
+    DiskBackend,
+    StoreBackend,
+    env_max_bytes,
+    evict_lru,
+    wait_for_fill,
+)
 from .fingerprint import code_fingerprint
 
 logger = logging.getLogger(__name__)
@@ -61,8 +77,17 @@ ARTIFACT_SCHEMA_VERSION = 1
 #: Sidecar directory (under the store root) corrupt entries are moved into.
 QUARANTINE_DIRNAME = "corrupt"
 
-#: File name (under the shared cache root) of the hit/miss counters.
+#: Legacy snapshot file (under the shared cache root) of the counters.
+#: Still read for totals; new deltas land in :data:`STATS_LOG_FILENAME`.
 STATS_FILENAME = "_stats.json"
+
+#: Append-only counter log: one JSON delta per line, written with
+#: ``O_APPEND`` so concurrent recorders never lose increments (the old
+#: read-modify-write snapshot dropped updates under contention).
+STATS_LOG_FILENAME = "_stats.jsonl"
+
+#: Size budget (bytes) of the artifact store; unset/0 = unbounded.
+ENV_ARTIFACTS_MAX_BYTES = "REPRO_ARTIFACTS_MAX_BYTES"
 
 
 def default_artifact_root() -> Path:
@@ -143,19 +168,61 @@ class ArtifactEntry:
 
 
 class ArtifactStore:
-    """Content-addressed store of sub-experiment intermediates."""
+    """Content-addressed store of sub-experiment intermediates.
 
-    def __init__(self, root: Path | str | None = None):
-        self.root = Path(root) if root is not None else default_artifact_root()
-        #: Corruption/quarantine tallies since the last :meth:`drain_stats`.
+    Mirrors :class:`~repro.runner.cache.ResultCache` over the same
+    :class:`~repro.runner.backends.StoreBackend` seam: pickled entries,
+    first-writer-wins fill claims, optional LRU byte budget
+    (``$REPRO_ARTIFACTS_MAX_BYTES``).
+    """
+
+    #: Fault-plan site names of this store's claim/evict hooks.
+    CLAIM_SITE = "artifact.claim"
+    EVICT_SITE = "artifact.evict"
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        backend: StoreBackend | None = None,
+        max_bytes: int | None = None,
+    ):
+        if backend is not None:
+            self.backend = backend
+        else:
+            self.backend = DiskBackend(Path(root) if root is not None else default_artifact_root())
+        self.root = self.backend.root
+        self.max_bytes = (
+            max_bytes if max_bytes is not None else env_max_bytes(ENV_ARTIFACTS_MAX_BYTES)
+        )
+        #: Tallies since the last :meth:`drain_stats`.
         self.recent_corrupt = 0
         self.recent_quarantined = 0
+        self.recent_claims = 0
+        self.recent_claim_waits = 0
+        self.recent_evictions = 0
+        self.recent_evicted_bytes = 0
 
-    def drain_stats(self) -> tuple[int, int]:
-        """``(corrupt, quarantined)`` tallied since the last drain; resets."""
-        drained = (self.recent_corrupt, self.recent_quarantined)
+    def drain_stats(self) -> dict[str, int]:
+        """Counters tallied since the last drain; resets them.
+
+        Keys: ``corrupt``, ``quarantined``, ``claims``, ``claim_waits``,
+        ``evictions``, ``evicted_bytes``.
+        """
+        drained = {
+            "corrupt": self.recent_corrupt,
+            "quarantined": self.recent_quarantined,
+            "claims": self.recent_claims,
+            "claim_waits": self.recent_claim_waits,
+            "evictions": self.recent_evictions,
+            "evicted_bytes": self.recent_evicted_bytes,
+        }
         self.recent_corrupt = 0
         self.recent_quarantined = 0
+        self.recent_claims = 0
+        self.recent_claim_waits = 0
+        self.recent_evictions = 0
+        self.recent_evicted_bytes = 0
         return drained
 
     @staticmethod
@@ -165,28 +232,25 @@ class ArtifactStore:
             raise ValueError(f"invalid artifact name {artifact!r}")
         return artifact
 
-    def _path(self, artifact: str, key: str) -> Path:
-        return self.root / self._check_artifact_name(artifact) / f"{key}.pkl"
+    @staticmethod
+    def _filename(key: str) -> str:
+        return f"{key}.pkl"
+
+    def _path(self, artifact: str, key: str) -> Path | None:
+        return self.backend.path(self._check_artifact_name(artifact), self._filename(key))
 
     def exists(self, artifact: str, key: str) -> bool:
-        """Cheap presence probe (no unpickling)."""
-        return self._path(artifact, key).is_file()
+        """Cheap presence probe (no unpickling, no LRU touch)."""
+        return (
+            self.backend.stat(self._check_artifact_name(artifact), self._filename(key))
+            is not None
+        )
 
-    def _quarantine(self, path: Path) -> None:
-        """Record + move one corrupt entry to the ``corrupt/`` sidecar dir.
-
-        Mirrors :func:`repro.runner.cache.quarantine_entry`; duplicated
-        (it is one ``os.replace``) to keep this module's import closure
-        down to ``fingerprint``, per the module docstring.
-        """
+    def _quarantine(self, artifact: str, key: str) -> None:
+        """Record + move one corrupt entry to the ``corrupt/`` sidecar dir."""
         self.recent_corrupt += 1
-        destination = self.root / QUARANTINE_DIRNAME / path.parent.name / path.name
-        try:
-            destination.parent.mkdir(parents=True, exist_ok=True)
-            os.replace(path, destination)
-        except OSError:  # lost the race; the entry is gone either way
-            return
-        self.recent_quarantined += 1
+        if self.backend.quarantine(artifact, self._filename(key)):
+            self.recent_quarantined += 1
 
     def get(self, artifact: str, key: str) -> ArtifactEntry | None:
         """The stored entry, or ``None`` on a miss.
@@ -195,63 +259,97 @@ class ArtifactStore:
         current-schema document) are quarantined rather than silently
         treated as misses forever; the caller recomputes.
         """
-        path = self._path(artifact, key)
-        try:
-            blob = path.read_bytes()
-        except OSError:  # missing or unreadable: a plain miss, not corruption
+        blob = self.backend.get(self._check_artifact_name(artifact), self._filename(key))
+        if blob is None:  # missing or unreadable: a plain miss, not corruption
             return None
         try:
             document = pickle.loads(blob)
         except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, ValueError):
-            self._quarantine(path)
+            self._quarantine(artifact, key)
             return None
         if not isinstance(document, dict) or document.get("schema") != ARTIFACT_SCHEMA_VERSION:
-            self._quarantine(path)
+            self._quarantine(artifact, key)
             return None
         try:
             return ArtifactEntry.from_document(document)
         except (KeyError, TypeError, ValueError):
-            self._quarantine(path)
+            self._quarantine(artifact, key)
             return None
 
-    def put(self, key: str, entry: ArtifactEntry) -> Path:
-        """Atomically persist one entry; returns its path."""
-        path = self._path(entry.artifact, key)
-        fault_point("artifact.write", key=entry.artifact)
-        path.parent.mkdir(parents=True, exist_ok=True)
+    def put(self, key: str, entry: ArtifactEntry) -> Path | None:
+        """Atomically persist one entry; returns its path (``None`` off-disk).
+
+        Clears any fill claim on the address (entry first, claim second)
+        and then enforces the store's byte budget.
+        """
+        artifact = self._check_artifact_name(entry.artifact)
+        filename = self._filename(key)
+        fault_point("artifact.write", key=artifact)
         blob = pickle.dumps(entry.to_document())
-        descriptor, temp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                handle.write(blob)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        fault_point("artifact.written", key=entry.artifact, path=path)
+        self.backend.put(artifact, filename, blob)
+        path = self.backend.path(artifact, filename)
+        fault_point("artifact.written", key=artifact, path=path)
+        self._enforce_budget(artifact, filename)
         return path
 
-    def entries(self, artifact: str | None = None) -> Iterator[tuple[str, Path]]:
+    # -- concurrent-fill claims -----------------------------------------------------
+
+    def claim(self, artifact: str, key: str) -> bool:
+        """Try to win the fill claim for one address (see ``ResultCache.claim``)."""
+        won = self.backend.claim(self._check_artifact_name(artifact), self._filename(key))
+        if not won:
+            return False
+        try:
+            fault_point(self.CLAIM_SITE, key=artifact)
+        except BaseException:
+            self.backend.release(artifact, self._filename(key))
+            raise
+        self.recent_claims += 1
+        return True
+
+    def claim_info(self, artifact: str, key: str) -> ClaimTicket | None:
+        return self.backend.claim_info(self._check_artifact_name(artifact), self._filename(key))
+
+    def release_claim(self, artifact: str, key: str) -> bool:
+        return self.backend.release(self._check_artifact_name(artifact), self._filename(key))
+
+    def break_claim(self, artifact: str, key: str, ticket: ClaimTicket) -> bool:
+        return self.backend.release(
+            self._check_artifact_name(artifact), self._filename(key), owner=ticket
+        )
+
+    def note_wait(self) -> None:
+        self.recent_claim_waits += 1
+
+    # -- bounded store ----------------------------------------------------------------
+
+    def _enforce_budget(self, artifact: str, filename: str) -> None:
+        """LRU-evict past ``max_bytes``, protecting the entry just written."""
+        if not self.max_bytes:
+            return
+
+        def on_evict(namespace: str, name: str) -> None:
+            fault_point(self.EVICT_SITE, key=f"{namespace}/{name}")
+
+        evicted, freed = evict_lru(
+            self.backend,
+            self.max_bytes,
+            keep={(artifact, filename)},
+            on_evict=on_evict,
+        )
+        self.recent_evictions += evicted
+        self.recent_evicted_bytes += freed
+
+    # -- listings ---------------------------------------------------------------------
+
+    def entries(self, artifact: str | None = None) -> Iterator[tuple[str, Path | None]]:
         """(key, path) pairs of stored entries, sorted for stable listings."""
         if artifact is not None:
             self._check_artifact_name(artifact)
-        if not self.root.is_dir():
-            return
-        directories = (
-            [self.root / artifact]
-            if artifact is not None
-            else sorted(child for child in self.root.iterdir() if child.is_dir())
-        )
-        for directory in directories:
-            if not directory.is_dir():
+        for namespace, filename in self.backend.iter(artifact):
+            if not filename.endswith(".pkl"):
                 continue
-            for path in sorted(directory.glob("*.pkl")):
-                yield path.stem, path
+            yield filename[: -len(".pkl")], self.backend.path(namespace, filename)
 
     def ls(self, artifact: str | None = None) -> list[dict[str, object]]:
         """Metadata summary of stored entries.
@@ -261,28 +359,31 @@ class ArtifactStore:
         upgrade path if listings ever get hot.
         """
         listing = []
-        for key, path in self.entries(artifact):
-            entry = self.get(path.parent.name, key)
+        for namespace, filename in self.backend.iter(artifact):
+            if not filename.endswith(".pkl"):
+                continue
+            key = filename[: -len(".pkl")]
+            entry = self.get(namespace, key)
+            stamp = self.backend.stat(namespace, filename)
             listing.append(
                 {
-                    "artifact": entry.artifact if entry else path.parent.name,
+                    "artifact": entry.artifact if entry else namespace,
                     "key": key,
                     "elapsed_seconds": entry.elapsed_seconds if entry else None,
                     "created_unix": entry.provenance.get("created_unix") if entry else None,
-                    "size_bytes": path.stat().st_size if path.is_file() else 0,
+                    "size_bytes": stamp.size_bytes if stamp else 0,
                 }
             )
         return listing
 
     def clear(self, artifact: str | None = None) -> int:
         """Delete stored entries (optionally of one artifact); returns count."""
+        if artifact is not None:
+            self._check_artifact_name(artifact)
         removed = 0
-        for _key, path in list(self.entries(artifact)):
-            try:
-                path.unlink()
+        for namespace, filename in list(self.backend.iter(artifact)):
+            if filename.endswith(".pkl") and self.backend.delete(namespace, filename):
                 removed += 1
-            except OSError:  # pragma: no cover - raced deletion
-                pass
         return removed
 
 
@@ -349,15 +450,32 @@ def produce_into(
     key: str | None = None,
     fingerprint: str | None = None,
 ) -> ArtifactEntry:
-    """Compute one artifact (store active for nested resolvers) and persist it."""
+    """Compute one artifact (store active for nested resolvers) and persist it.
+
+    First-writer-wins: losing the fill claim means a concurrent producer is
+    already computing this address, so wait for its entry instead of
+    duplicating the work.  A stale claim (dead producer) is taken over; a
+    blown wait deadline falls back to computing -- wasteful but
+    deterministic, never corrupting.
+    """
     if fingerprint is None:
         fingerprint = code_fingerprint(producer.__module__)
     if key is None:
         key = artifact_key(artifact, params, fingerprint)
-    with activated(store):
-        start = time.perf_counter()
-        payload = producer(**dict(params))
-        elapsed = time.perf_counter() - start
+    if not store.claim(artifact, key):
+        store.note_wait()
+        entry = wait_for_fill(store, artifact, key)
+        if entry is not None:
+            return entry
+        # We now own the claim (takeover) or the deadline expired: compute.
+    try:
+        with activated(store):
+            start = time.perf_counter()
+            payload = producer(**dict(params))
+            elapsed = time.perf_counter() - start
+    except BaseException:
+        store.release_claim(artifact, key)
+        raise
     entry = ArtifactEntry(
         artifact=artifact,
         params=dict(params),
@@ -369,6 +487,7 @@ def produce_into(
     try:
         store.put(key, entry)
     except OSError as error:  # full/read-only disk: degrade to uncached
+        store.release_claim(artifact, key)
         logger.warning("artifact store write failed for %s (%s); continuing uncached",
                        artifact, error)
     return entry
@@ -404,12 +523,13 @@ def resolve_artifact(
 
 @dataclass
 class StoreStats:
-    """Hit/miss counters of the result cache and the artifact store.
+    """Counters of the result cache and the artifact store.
 
-    Persisted as ``_stats.json`` under the shared cache root and reset by
-    ``python -m repro cache clear``.  Counters are recorded by the parent
-    process only (the scheduler's lookups), so concurrent workers never
-    race on the file.
+    Persisted under the shared cache root and reset by ``python -m repro
+    cache clear``.  Deltas are *appended* to ``_stats.jsonl`` (one JSON
+    line per drain, ``O_APPEND``), so concurrent recorders -- several
+    runners sharing one store -- never lose increments; totals are the sum
+    of the legacy ``_stats.json`` snapshot and every logged delta.
     """
 
     FIELDS = (
@@ -421,6 +541,14 @@ class StoreStats:
         "artifact_corrupt",
         "quarantined",
         "retried",
+        "result_claims",
+        "artifact_claims",
+        "result_claim_waits",
+        "artifact_claim_waits",
+        "result_evictions",
+        "artifact_evictions",
+        "result_evicted_bytes",
+        "artifact_evicted_bytes",
     )
 
     result_hits: int = 0
@@ -434,6 +562,17 @@ class StoreStats:
     quarantined: int = 0
     #: Execution units re-attempted after a crash or timeout.
     retried: int = 0
+    #: Fill claims won (exactly-once computes under concurrent writers).
+    result_claims: int = 0
+    artifact_claims: int = 0
+    #: Fills lost to a concurrent winner (waited instead of recomputing).
+    result_claim_waits: int = 0
+    artifact_claim_waits: int = 0
+    #: Entries evicted past the store byte budgets, and the bytes freed.
+    result_evictions: int = 0
+    artifact_evictions: int = 0
+    result_evicted_bytes: int = 0
+    artifact_evicted_bytes: int = 0
 
     def to_document(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.FIELDS}
@@ -443,48 +582,71 @@ class StoreStats:
             **{name: getattr(self, name) + getattr(other, name) for name in self.FIELDS}
         )
 
+    @classmethod
+    def from_document(cls, document: Mapping[str, object]) -> "StoreStats":
+        return cls(
+            **{
+                name: int(document.get(name, 0))
+                for name in cls.FIELDS
+                if isinstance(document.get(name, 0), int)
+            }
+        )
+
 
 def load_stats(root: Path | str) -> StoreStats:
-    """The persisted counters at ``root`` (zeros when absent/corrupt)."""
-    path = Path(root) / STATS_FILENAME
+    """The persisted counters at ``root`` (zeros when absent/corrupt).
+
+    Totals = the legacy ``_stats.json`` snapshot (pre-append-log caches)
+    plus every delta line in ``_stats.jsonl``; torn/invalid lines are
+    skipped rather than poisoning the total.
+    """
+    root = Path(root)
+    total = StoreStats()
     try:
-        document = json.loads(path.read_text())
+        document = json.loads((root / STATS_FILENAME).read_text())
     except (OSError, ValueError):
-        return StoreStats()
-    if not isinstance(document, dict):
-        return StoreStats()
-    return StoreStats(
-        **{
-            name: int(document.get(name, 0))
-            for name in StoreStats.FIELDS
-            if isinstance(document.get(name, 0), int)
-        }
-    )
+        document = None
+    if isinstance(document, dict):
+        total = StoreStats.from_document(document)
+    try:
+        log_text = (root / STATS_LOG_FILENAME).read_text()
+    except OSError:
+        return total
+    for line in log_text.splitlines():
+        try:
+            delta = json.loads(line)
+        except ValueError:  # torn final line from a killed writer
+            continue
+        if isinstance(delta, dict):
+            total = total.add(StoreStats.from_document(delta))
+    return total
 
 
 def record_stats(root: Path | str, delta: StoreStats) -> StoreStats:
-    """Accumulate ``delta`` into the persisted counters; returns the new total."""
+    """Append ``delta`` to the persisted counters; returns the new total.
+
+    One compact JSON line per call, written with ``O_APPEND`` (well under
+    ``PIPE_BUF``, so concurrent appends never interleave): recorders from
+    many processes sharing one store root all land, where the previous
+    read-modify-write snapshot silently dropped concurrent increments.
+    """
     root = Path(root)
-    total = load_stats(root).add(delta)
     root.mkdir(parents=True, exist_ok=True)
-    path = root / STATS_FILENAME
-    descriptor, temp_name = tempfile.mkstemp(dir=root, prefix=".stats-", suffix=".tmp")
+    line = json.dumps(delta.to_document(), sort_keys=True, separators=(",", ":")) + "\n"
+    descriptor = os.open(
+        str(root / STATS_LOG_FILENAME), os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+    )
     try:
-        with os.fdopen(descriptor, "w") as handle:
-            handle.write(json.dumps(total.to_document(), indent=1))
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
-    return total
+        os.write(descriptor, line.encode())
+    finally:
+        os.close(descriptor)
+    return load_stats(root)
 
 
 def reset_stats(root: Path | str) -> None:
     """Delete the persisted counters (the next run starts from zero)."""
-    try:
-        (Path(root) / STATS_FILENAME).unlink()
-    except OSError:
-        pass
+    for filename in (STATS_FILENAME, STATS_LOG_FILENAME):
+        try:
+            (Path(root) / filename).unlink()
+        except OSError:
+            pass

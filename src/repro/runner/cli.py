@@ -72,6 +72,17 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="result-cache root (default: $REPRO_CACHE_DIR or ~/.cache/dvafs-repro)",
     )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "result-cache size budget in bytes; least-recently-used entries are "
+            "evicted past it (default: $REPRO_CACHE_MAX_BYTES, else unbounded; "
+            "the artifact store has its own $REPRO_ARTIFACTS_MAX_BYTES budget)"
+        ),
+    )
 
 
 def _add_run_arguments(parser: argparse.ArgumentParser) -> None:
@@ -210,7 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
     cache_dir = getattr(args, "cache_dir", None)
-    cache = ResultCache(cache_dir) if cache_dir else ResultCache()
+    cache = ResultCache(cache_dir, max_bytes=getattr(args, "cache_max_bytes", None))
     return ExperimentRunner(cache=cache, use_cache=not getattr(args, "no_cache", False))
 
 
@@ -367,6 +378,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         port=args.port,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
         rate_limit=args.rate_limit,
         rate_burst=args.rate_burst,
         max_queue=args.max_queue,
@@ -388,6 +400,10 @@ def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, 
             "hits": counters.result_hits,
             "misses": counters.result_misses,
             "corrupt": counters.result_corrupt,
+            "claims": counters.result_claims,
+            "claim_waits": counters.result_claim_waits,
+            "evictions": counters.result_evictions,
+            "evicted_bytes": counters.result_evicted_bytes,
             "quarantine": quarantine_summary(cache.root),
         },
         "artifacts": {
@@ -396,6 +412,10 @@ def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, 
             "hits": counters.artifact_hits,
             "misses": counters.artifact_misses,
             "corrupt": counters.artifact_corrupt,
+            "claims": counters.artifact_claims,
+            "claim_waits": counters.artifact_claim_waits,
+            "evictions": counters.artifact_evictions,
+            "evicted_bytes": counters.artifact_evicted_bytes,
             "quarantine": quarantine_summary(store.root),
         },
         "recovery": {
@@ -431,6 +451,9 @@ def _command_cache(args: argparse.Namespace) -> int:
                 "bytes": section["bytes"],
                 "hits": section["hits"],
                 "misses": section["misses"],
+                "claims": section["claims"],
+                "waits": section["claim_waits"],
+                "evicted": section["evictions"],
                 "corrupt": section["corrupt"],
                 "quarantined": section["quarantine"]["entries"],
             }

@@ -394,12 +394,14 @@ def parallel_sweep(
 
 def _produce_artifact(
     task: tuple[str, str, dict[str, object], str, str, str],
-) -> tuple[str, float]:
+) -> tuple[str, float, dict[str, int]]:
     """Worker body: compute one artifact unit and persist it into the store.
 
     The store is activated around the producer call so producers that
     themselves resolve earlier-wave artifacts (``after`` dependencies) hit
-    the entries those waves already wrote.
+    the entries those waves already wrote.  The worker store's drained
+    counters (claims, claim waits, corruption, evictions) travel back with
+    the result so the parent can fold them into the persisted stats.
     """
     from .artifacts import ArtifactStore, load_producer, produce_into
 
@@ -414,7 +416,7 @@ def _produce_artifact(
         key=key,
         fingerprint=fingerprint,
     )
-    return key, entry.elapsed_seconds
+    return key, entry.elapsed_seconds, store.drain_stats()
 
 
 def produce_artifacts(
@@ -423,7 +425,7 @@ def produce_artifacts(
     jobs: int | None = None,
     policy: ExecutionPolicy | None = None,
     outcome: ExecutionOutcome | None = None,
-) -> list[tuple[str, float]]:
+) -> list[tuple[str, float, dict[str, int]]]:
     """Produce artifact units (optionally in parallel); results in input order.
 
     Each task is ``(artifact, producer path, params, key, fingerprint,

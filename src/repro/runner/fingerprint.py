@@ -18,7 +18,20 @@ import ast
 import functools
 import hashlib
 import importlib.util
+import threading
 from pathlib import Path
+
+# CPython's ``ast.parse`` keeps its AST-to-object recursion depth in shared
+# interpreter state on some versions (3.11 raises ``SystemError: AST
+# constructor recursion depth mismatch`` under concurrent parses), so parsing
+# is serialised.  Cheap: ``_imported_modules`` is memoised per source text,
+# so repeat fingerprints never reach the parser at all.
+_PARSE_LOCK = threading.Lock()
+
+
+def _parse_source(source: str) -> ast.AST:
+    with _PARSE_LOCK:
+        return ast.parse(source)
 
 
 @functools.lru_cache(maxsize=None)
@@ -74,7 +87,7 @@ def _imported_modules(module_name: str, source: str, root: str) -> frozenset[str
             if _module_path(candidate) is not None:
                 found.add(candidate)
 
-    for node in _walk_importable(ast.parse(source)):
+    for node in _walk_importable(_parse_source(source)):
         if isinstance(node, ast.Import):
             for alias in node.names:
                 keep(alias.name)

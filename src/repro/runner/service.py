@@ -33,7 +33,15 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Mapping
 
-from .artifacts import ArtifactStore, StoreStats, artifact_key, record_stats
+from .artifacts import (
+    ArtifactStore,
+    StoreStats,
+    artifact_key,
+    load_producer,
+    produce_into,
+    record_stats,
+)
+from .backends import MemoryBackend, wait_for_fill
 from .cache import CacheEntry, ResultCache, cache_key, run_provenance
 from .errors import UnknownExperimentError
 from .executor import ExecutionOutcome, ExecutionPolicy, execute_requests, produce_artifacts
@@ -151,9 +159,14 @@ class ExperimentRunner:
         self.registry = dict(registry) if registry is not None else build_registry()
         self.cache = cache if cache is not None else ResultCache()
         self.use_cache = use_cache
-        self.artifacts = (
-            artifacts if artifacts is not None else ArtifactStore(self.cache.root / "artifacts")
-        )
+        if artifacts is not None:
+            self.artifacts = artifacts
+        elif self.cache.root is not None:
+            self.artifacts = ArtifactStore(self.cache.root / "artifacts")
+        else:
+            # Memory-backed result cache (tests, the service's warm L1):
+            # keep the artifact store ephemeral too.
+            self.artifacts = ArtifactStore(backend=MemoryBackend())
         self.use_artifacts = use_cache if use_artifacts is None else use_artifacts
 
     def spec(self, name: str) -> ExperimentSpec:
@@ -271,7 +284,7 @@ class ExperimentRunner:
     ) -> StoreStats:
         """Produce the missing units, one wave per topological level."""
         stats = StoreStats()
-        store_root = str(self.artifacts.root)
+        store_root = str(self.artifacts.root) if self.artifacts.root is not None else None
         levels = sorted({unit.level for unit in units})
         for level in levels:
             wave = [unit for unit in units if unit.level == level]
@@ -289,18 +302,117 @@ class ExperimentRunner:
                         "artifacts": sorted({unit.artifact for unit in missing}),
                     }
                 )
-            if missing:
-                produce_artifacts(
+            if missing and store_root is None:
+                # Off-disk (memory-backed) store: workers cannot share it,
+                # so produce inline in the parent.  Counters accrue on the
+                # store itself and are drained by the caller.
+                for unit in missing:
+                    produce_into(
+                        self.artifacts,
+                        unit.artifact,
+                        dict(unit.params),
+                        load_producer(unit.producer),
+                        key=unit.key,
+                        fingerprint=unit.fingerprint,
+                    )
+            elif missing:
+                produced = produce_artifacts(
                     [unit.task(store_root) for unit in missing],
                     jobs=jobs,
                     policy=policy,
                     outcome=outcome,
                 )
+                # Fold worker-side store telemetry (claims won/lost against
+                # concurrent fillers, corruption, evictions) into the stats
+                # the parent persists.
+                for produced_unit in produced:
+                    drained = produced_unit[2] if len(produced_unit) > 2 else {}
+                    stats.artifact_claims += drained.get("claims", 0)
+                    stats.artifact_claim_waits += drained.get("claim_waits", 0)
+                    stats.artifact_corrupt += drained.get("corrupt", 0)
+                    stats.quarantined += drained.get("quarantined", 0)
+                    stats.artifact_evictions += drained.get("evictions", 0)
+                    stats.artifact_evicted_bytes += drained.get("evicted_bytes", 0)
             if observer is not None:
                 observer({"event": "artifact_wave_done", "level": level, "produced": len(missing)})
         return stats
 
     # -- experiment execution ----------------------------------------------------
+
+    def _resolve_waiting(
+        self,
+        name: str,
+        config: dict[str, object],
+        key: str,
+        fingerprint: str,
+        policy: ExecutionPolicy | None,
+        outcome: ExecutionOutcome,
+    ) -> RunReport:
+        """Resolve one cold request whose fill claim a concurrent runner won.
+
+        Normally the winner's entry lands and this is a (slightly delayed)
+        cache hit.  If the winner died, :func:`wait_for_fill` hands us its
+        claim and we compute; if the wait deadline expired we compute
+        without a claim -- duplicated work, but deterministic and atomically
+        written, so correctness never depends on the winner.
+        """
+        start = time.perf_counter()
+        entry = wait_for_fill(self.cache, name, key)
+        if entry is not None:
+            return RunReport(
+                name=name,
+                rows=entry.rows,
+                config=config,
+                cached=True,
+                elapsed_seconds=time.perf_counter() - start,
+                compute_seconds=entry.elapsed_seconds,
+                key=key,
+                fingerprint=entry.fingerprint,
+            )
+        artifacts_root = (
+            str(self.artifacts.root)
+            if self.use_artifacts and self.artifacts.root is not None
+            else None
+        )
+        try:
+            ((rows, elapsed),) = execute_requests(
+                [(name, config)],
+                jobs=1,
+                artifacts_root=artifacts_root,
+                registry=self.registry,
+                policy=policy,
+                outcome=outcome,
+            )
+        except BaseException:
+            self.cache.release_claim(name, key)
+            raise
+        try:
+            self.cache.put(
+                key,
+                CacheEntry(
+                    experiment=name,
+                    params=json.loads(self.spec(name).canonical_json(config)),
+                    fingerprint=fingerprint,
+                    result=SweepResult(records=rows),
+                    elapsed_seconds=elapsed,
+                    provenance=run_provenance(),
+                ),
+            )
+        except OSError as error:  # full/read-only disk: serve uncached
+            self.cache.release_claim(name, key)
+            logger.warning(
+                "result cache write failed for %s (%s); continuing uncached", name, error
+            )
+        return RunReport(
+            name=name,
+            rows=rows,
+            config=config,
+            cached=False,
+            elapsed_seconds=elapsed,
+            compute_seconds=elapsed,
+            key=key,
+            fingerprint=fingerprint,
+        )
 
     def run_many(
         self,
@@ -370,77 +482,121 @@ class ExperimentRunner:
                 }
             )
         if cold:
-            artifacts_root: str | None = None
-            if self.use_artifacts:
-                units = self._plan_artifacts(
-                    [(name, config) for _index, name, config, _key in cold]
-                )
-                stats = stats.add(
-                    self._ensure_artifacts(
-                        units, jobs=jobs, observer=observer, policy=policy, outcome=outcome
+            # First-writer-wins fill coordination: of N concurrent runners
+            # cold-filling one content address, exactly one computes (it
+            # `owns` the claim); the rest wait on the winner's entry.
+            owned = cold
+            waiting: list[tuple[int, str, dict[str, object], str]] = []
+            if self.use_cache:
+                owned = []
+                for item in cold:
+                    _index, name, _config, key = item
+                    if self.cache.claim(name, key):
+                        owned.append(item)
+                    else:
+                        self.cache.note_wait()
+                        waiting.append(item)
+            try:
+                if owned:
+                    artifacts_root: str | None = None
+                    if self.use_artifacts:
+                        units = self._plan_artifacts(
+                            [(name, config) for _index, name, config, _key in owned]
+                        )
+                        stats = stats.add(
+                            self._ensure_artifacts(
+                                units, jobs=jobs, observer=observer, policy=policy, outcome=outcome
+                            )
+                        )
+                        if self.artifacts.root is not None:
+                            artifacts_root = str(self.artifacts.root)
+                    if observer is not None:
+                        observer(
+                            {
+                                "event": "executing",
+                                "experiments": len(owned),
+                                "waiting": len(waiting),
+                            }
+                        )
+                    results = execute_requests(
+                        [(name, config) for _index, name, config, _key in owned],
+                        jobs=jobs,
+                        artifacts_root=artifacts_root,
+                        registry=self.registry,
+                        policy=policy,
+                        outcome=outcome,
                     )
-                )
-                artifacts_root = str(self.artifacts.root)
-            if observer is not None:
-                observer({"event": "executing", "experiments": len(cold)})
-            results = execute_requests(
-                [(name, config) for _index, name, config, _key in cold],
-                jobs=jobs,
-                artifacts_root=artifacts_root,
-                registry=self.registry,
-                policy=policy,
-                outcome=outcome,
-            )
-            for (index, name, config, key), (rows, elapsed) in zip(cold, results):
-                spec = self.spec(name)
+                    for (index, name, config, key), (rows, elapsed) in zip(owned, results):
+                        spec = self.spec(name)
+                        if self.use_cache:
+                            try:
+                                self.cache.put(
+                                    key,
+                                    CacheEntry(
+                                        experiment=name,
+                                        params=json.loads(spec.canonical_json(config)),
+                                        fingerprint=fingerprints[name],
+                                        result=SweepResult(records=rows),
+                                        elapsed_seconds=elapsed,
+                                        provenance=run_provenance(),
+                                    ),
+                                )
+                            except OSError as error:  # full/read-only disk: serve uncached
+                                self.cache.release_claim(name, key)
+                                logger.warning(
+                                    "result cache write failed for %s (%s); continuing uncached",
+                                    name,
+                                    error,
+                                )
+                        prepared[index] = RunReport(
+                            name=name,
+                            rows=rows,
+                            config=config,
+                            cached=False,
+                            elapsed_seconds=elapsed,
+                            compute_seconds=elapsed,
+                            key=key,
+                            fingerprint=fingerprints[name],
+                        )
+                for index, name, config, key in waiting:
+                    prepared[index] = self._resolve_waiting(
+                        name, config, key, fingerprints[name], policy, outcome
+                    )
+            except BaseException:
+                # Never leak fill claims on the way out: waiters in other
+                # processes would stall until the stale-claim TTL.  Claims
+                # already cleared by a successful put are no-ops here.
                 if self.use_cache:
-                    try:
-                        self.cache.put(
-                            key,
-                            CacheEntry(
-                                experiment=name,
-                                params=json.loads(spec.canonical_json(config)),
-                                fingerprint=fingerprints[name],
-                                result=SweepResult(records=rows),
-                                elapsed_seconds=elapsed,
-                                provenance=run_provenance(),
-                            ),
-                        )
-                    except OSError as error:  # full/read-only disk: serve uncached
-                        logger.warning(
-                            "result cache write failed for %s (%s); continuing uncached",
-                            name,
-                            error,
-                        )
-                prepared[index] = RunReport(
-                    name=name,
-                    rows=rows,
-                    config=config,
-                    cached=False,
-                    elapsed_seconds=elapsed,
-                    compute_seconds=elapsed,
-                    key=key,
-                    fingerprint=fingerprints[name],
-                )
+                    for _index, name, _config, key in owned:
+                        self.cache.release_claim(name, key)
+                raise
             for index, key in duplicates:
                 source = prepared[cold[cold_position[key]][0]]
                 prepared[index] = RunReport(
                     name=source.name,
                     rows=[dict(row) for row in source.rows],
                     config=dict(source.config),
-                    cached=False,
+                    cached=source.cached,
                     elapsed_seconds=source.elapsed_seconds,
                     compute_seconds=source.compute_seconds,
                     key=source.key,
                     fingerprint=source.fingerprint,
                 )
-        result_corrupt, result_quarantined = self.cache.drain_stats()
-        artifact_corrupt, artifact_quarantined = self.artifacts.drain_stats()
-        stats.result_corrupt += result_corrupt
-        stats.artifact_corrupt += artifact_corrupt
-        stats.quarantined += result_quarantined + artifact_quarantined
+        result_drained = self.cache.drain_stats()
+        artifact_drained = self.artifacts.drain_stats()
+        stats.result_corrupt += result_drained["corrupt"]
+        stats.artifact_corrupt += artifact_drained["corrupt"]
+        stats.quarantined += result_drained["quarantined"] + artifact_drained["quarantined"]
+        stats.result_claims += result_drained["claims"]
+        stats.result_claim_waits += result_drained["claim_waits"]
+        stats.result_evictions += result_drained["evictions"]
+        stats.result_evicted_bytes += result_drained["evicted_bytes"]
+        stats.artifact_claims += artifact_drained["claims"]
+        stats.artifact_claim_waits += artifact_drained["claim_waits"]
+        stats.artifact_evictions += artifact_drained["evictions"]
+        stats.artifact_evicted_bytes += artifact_drained["evicted_bytes"]
         stats.retried += outcome.retries
-        if self.use_cache or self.use_artifacts:
+        if (self.use_cache or self.use_artifacts) and self.cache.root is not None:
             try:
                 record_stats(self.cache.root, stats)
             except OSError as error:  # stats are best-effort observability

@@ -77,6 +77,7 @@ class ServiceMetrics:
         self.latency: dict[str, LatencyHistogram] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        self.warm_hits = 0  # hits served from the in-memory L1, no disk read
         self.rate_limited = 0
         self.shed = 0  # 503s: submissions rejected by the bounded job queue
         #: Installed by the app; reports job-state counts and in-flight gauge.
@@ -92,10 +93,13 @@ class ServiceMetrics:
             if status == 503:
                 self.shed += 1
 
-    def record_cache(self, hit: bool) -> None:
+    def record_cache(self, hit: bool, *, warm: bool = False) -> None:
+        """Tally one warm-path probe; ``warm`` marks an in-memory L1 hit."""
         with self._lock:
             if hit:
                 self.cache_hits += 1
+                if warm:
+                    self.warm_hits += 1
             else:
                 self.cache_misses += 1
 
@@ -110,7 +114,11 @@ class ServiceMetrics:
                     "rate_limited": self.rate_limited,
                     "shed": self.shed,
                 },
-                "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "warm_hits": self.warm_hits,
+                },
                 "jobs": self.job_counts(),
                 "latency": {route: histogram.snapshot() for route, histogram in sorted(self.latency.items())},
             }

@@ -13,7 +13,9 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
 import re
+import time
 from typing import Awaitable, Callable
 
 from .jobs import JobManager
@@ -30,7 +32,24 @@ from .models import (
 )
 from .server import Request, Response
 from .. import api
-from ..runner.service import ExperimentRunner
+from ..runner.artifacts import load_stats
+from ..runner.backends import MemoryBackend
+from ..runner.cache import ResultCache
+from ..runner.service import ExperimentRunner, RunReport
+
+#: Byte budget of the in-memory warm-path L1 (0 disables it).
+WARM_CACHE_ENV = "REPRO_WARM_CACHE_BYTES"
+DEFAULT_WARM_CACHE_BYTES = 32 * 1024 * 1024
+
+
+def _warm_cache_bytes() -> int:
+    value = os.environ.get(WARM_CACHE_ENV)
+    if not value:
+        return DEFAULT_WARM_CACHE_BYTES
+    try:
+        return max(0, int(value))
+    except ValueError:
+        return DEFAULT_WARM_CACHE_BYTES
 
 Handler = Callable[[Request, dict[str, str]], Awaitable[Response]]
 
@@ -57,6 +76,15 @@ class ServiceApp:
     ):
         self.runner = runner
         self.metrics = ServiceMetrics()
+        # In-memory L1 in front of the disk store: repeated warm probes for
+        # the same address skip the disk read entirely.  Entries are
+        # content-addressed, so a stale L1 entry can never serve wrong rows.
+        warm_bytes = _warm_cache_bytes()
+        self.warm_cache: ResultCache | None = (
+            ResultCache(backend=MemoryBackend(), max_bytes=warm_bytes)
+            if warm_bytes > 0 and runner.use_cache
+            else None
+        )
         self.jobs = JobManager(runner, jobs=jobs, max_queue=max_queue, state_dir=state_dir)
         self.drain_seconds = drain_seconds
         self.metrics.job_counts = self.jobs.counts
@@ -144,16 +172,58 @@ class ServiceApp:
         return Response(200, experiments_response(listing))
 
     async def get_metrics(self, _request: Request, _params: dict[str, str]) -> Response:
-        return Response(200, self.metrics.snapshot())
+        snapshot = self.metrics.snapshot()
+        root = self.runner.cache.root
+        if root is not None:
+            # Persisted store counters (hits/claims/evictions across *all*
+            # processes sharing the store), distinct from the per-service
+            # request counters above.
+            stats = await asyncio.get_running_loop().run_in_executor(None, lambda: load_stats(root))
+            snapshot["stores"] = {"root": str(root), **stats.to_document()}
+        return Response(200, snapshot)
+
+    def _warm_lookup(self, name: str, params: dict[str, object] | None) -> tuple[RunReport | None, bool]:
+        """``(cached report or None, served from the in-memory L1?)``.
+
+        Probes the L1 first, falls back to the disk store (populating the
+        L1 on a hit) and raises the same validation errors as
+        :meth:`ExperimentRunner.lookup`.
+        """
+        if self.warm_cache is None:
+            return self.runner.lookup(name, params), False
+        config, key, _fingerprint = self.runner.address(name, params)
+        start = time.perf_counter()
+        entry = self.warm_cache.get(name, key)
+        from_memory = entry is not None
+        if entry is None:
+            entry = self.runner.cache.get(name, key)
+            if entry is not None:
+                try:
+                    self.warm_cache.put(key, entry)
+                except Exception:  # best effort: L1 population never fails a probe
+                    pass
+        if entry is None:
+            return None, False
+        report = RunReport(
+            name=name,
+            rows=entry.rows,
+            config=config,
+            cached=True,
+            elapsed_seconds=time.perf_counter() - start,
+            compute_seconds=entry.elapsed_seconds,
+            key=key,
+            fingerprint=entry.fingerprint,
+        )
+        return report, from_memory
 
     async def post_run(self, request: Request, path_params: dict[str, str]) -> Response:
         """Warm hits answer synchronously; cold configs become jobs."""
         name = path_params["name"]
         body = RunRequest.from_body(request.body)
-        report = await asyncio.get_running_loop().run_in_executor(
-            None, lambda: self.runner.lookup(name, body.params)
+        report, from_memory = await asyncio.get_running_loop().run_in_executor(
+            None, lambda: self._warm_lookup(name, body.params)
         )
-        self.metrics.record_cache(hit=report is not None)
+        self.metrics.record_cache(hit=report is not None, warm=from_memory)
         if report is not None:
             return Response(200, run_response(report, request.request_id))
         record, _created = self.jobs.submit(

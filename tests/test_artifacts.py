@@ -90,7 +90,8 @@ class TestArtifactStore:
         # clean miss and the producer recomputes into a fresh entry.
         assert not path.exists()
         assert (tmp_path / "corrupt" / "unit" / f"{key}.pkl").exists()
-        assert store.drain_stats() == (1, 1)
+        drained = store.drain_stats()
+        assert drained["corrupt"] == 1 and drained["quarantined"] == 1
         assert not store.exists("unit", key)
 
     def test_wrong_schema_version_is_a_miss(self, tmp_path):
@@ -188,16 +189,9 @@ class TestResolve:
         assert active_store() is not None  # env fallback restored after
 
     def test_stats_round_trip(self, tmp_path):
-        assert load_stats(tmp_path).to_document() == {
-            "result_hits": 0,
-            "result_misses": 0,
-            "artifact_hits": 0,
-            "artifact_misses": 0,
-            "result_corrupt": 0,
-            "artifact_corrupt": 0,
-            "quarantined": 0,
-            "retried": 0,
-        }
+        empty = load_stats(tmp_path).to_document()
+        assert set(empty) == set(StoreStats.FIELDS)
+        assert all(value == 0 for value in empty.values())
         total = record_stats(tmp_path, StoreStats(result_hits=2, artifact_misses=1))
         total = record_stats(tmp_path, StoreStats(result_misses=1, artifact_hits=4))
         assert total.result_hits == 2 and total.result_misses == 1
@@ -598,16 +592,22 @@ class TestCliStats:
         assert main(["cache", "stats", "--json", "--cache-dir", str(tmp_path)]) == 0
         return json.loads(capsys.readouterr().out)
 
+    EMPTY_SECTION = {
+        "entries": 0,
+        "bytes": 0,
+        "hits": 0,
+        "misses": 0,
+        "corrupt": 0,
+        "claims": 0,
+        "claim_waits": 0,
+        "evictions": 0,
+        "evicted_bytes": 0,
+        "quarantine": {"entries": 0, "bytes": 0},
+    }
+
     def test_stats_round_trip_and_clear_resets(self, tmp_path, capsys):
         summary = self._stats(tmp_path, capsys)
-        assert summary["results"] == {
-            "entries": 0,
-            "bytes": 0,
-            "hits": 0,
-            "misses": 0,
-            "corrupt": 0,
-            "quarantine": {"entries": 0, "bytes": 0},
-        }
+        assert summary["results"] == self.EMPTY_SECTION
 
         assert (
             main(
@@ -656,16 +656,8 @@ class TestCliStats:
         assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
         capsys.readouterr()
         summary = self._stats(tmp_path, capsys)
-        empty = {
-            "entries": 0,
-            "bytes": 0,
-            "hits": 0,
-            "misses": 0,
-            "corrupt": 0,
-            "quarantine": {"entries": 0, "bytes": 0},
-        }
-        assert summary["results"] == empty
-        assert summary["artifacts"] == empty
+        assert summary["results"] == self.EMPTY_SECTION
+        assert summary["artifacts"] == self.EMPTY_SECTION
         assert summary["recovery"] == {"quarantined": 0, "retried": 0}
 
     def test_cache_ls_lists_artifacts(self, tmp_path, capsys):

@@ -21,6 +21,7 @@ from __future__ import annotations
 import errno
 import importlib
 import json
+import multiprocessing
 import os
 import signal
 import subprocess
@@ -349,7 +350,8 @@ class TestStoreRecovery:
 
         monkeypatch.setattr(os, "replace", racing_replace)
         assert cache.get("toy", "deadbeef") is None
-        assert cache.drain_stats() == (1, 0)
+        drained = cache.drain_stats()
+        assert drained["corrupt"] == 1 and drained["quarantined"] == 0
 
     def test_disk_full_cache_write_degrades_to_uncached_success(self, toy_runner):
         with injected("cache.write:disk_full:times=100"):
@@ -378,6 +380,97 @@ class TestStoreRecovery:
         # After recovery the rewritten entry serves warm hits again.
         (warm,) = toy_runner.run_many([("toy", {"x": 6})])
         assert warm.cached is True
+
+
+# -- concurrent-fill claim recovery -------------------------------------------------
+
+
+def _claim_and_die(root, key):
+    """Child-process victim: win the fill claim, then get SIGKILLed by the fault.
+
+    The plan is set in the child only (the parent must stay fault-free),
+    and a child process is a *real* kill target -- in the main process the
+    kill degrades to an exception, which is exactly not what this test
+    needs.
+    """
+    os.environ["REPRO_FAULTS"] = "cache.claim:kill"
+    ResultCache(root).claim("toy", key)
+    raise AssertionError("the claim fault should have killed this process")
+
+
+class TestClaimRecovery:
+    def test_winner_killed_mid_fill_leaves_a_stale_claim_losers_take_over(
+        self, toy_runner, tmp_path, monkeypatch
+    ):
+        # A clean reference run in a separate cache (what the rows must match).
+        clean_runner = ExperimentRunner(
+            cache=ResultCache(tmp_path / "clean_cache"), registry=toy_runner.registry
+        )
+        (clean,) = clean_runner.run_many([("toy", {"x": 9})])
+
+        _config, key, _fingerprint = toy_runner.address("toy", {"x": 9})
+        victim = multiprocessing.get_context("fork").Process(
+            target=_claim_and_die, args=(toy_runner.cache.root, key)
+        )
+        victim.start()
+        victim.join(timeout=60)
+        assert victim.exitcode == -signal.SIGKILL  # died inside the claim, for real
+        ticket = toy_runner.cache.claim_info("toy", key)
+        assert ticket is not None and ticket.is_stale()  # dead pid, this host
+
+        # A loser arriving now loses the claim race against the corpse,
+        # detects the stale ticket, takes the fill over and computes --
+        # byte-identical to the undisturbed run.
+        (recovered,) = toy_runner.run_many([("toy", {"x": 9})])
+        assert recovered.cached is False
+        assert json.dumps(recovered.rows) == json.dumps(clean.rows)
+        assert toy_runner.cache.claim_info("toy", key) is None  # fill cleared it
+        stats = load_stats(toy_runner.cache.root)
+        assert stats.result_claim_waits >= 1  # the takeover was accounted
+        # ... and the recovered entry replays warm, like any clean fill.
+        (warm,) = toy_runner.run_many([("toy", {"x": 9})])
+        assert warm.cached is True
+        assert json.dumps(warm.rows) == json.dumps(clean.rows)
+
+    def test_exc_at_the_claim_site_never_leaks_the_claim(self, toy_runner):
+        _config, key, _fingerprint = toy_runner.address("toy", {"x": 8})
+        with injected("cache.claim:exc"):
+            with pytest.raises(FaultInjected):
+                toy_runner.cache.claim("toy", key)
+        assert toy_runner.cache.claim_info("toy", key) is None  # released on the way out
+        (report,) = toy_runner.run_many([("toy", {"x": 8})])  # clean rerun fills
+        assert report.rows == [{"x": 8, "y": 64}]
+
+    def test_artifact_claim_exc_releases_and_reruns_compute(self, tmp_path):
+        from repro.runner.artifacts import ArtifactStore, produce_into
+
+        store = ArtifactStore(tmp_path)
+        with injected("artifact.claim:exc"):
+            with pytest.raises(FaultInjected):
+                produce_into(store, "demo", {"x": 2}, lambda *, x: {"value": x})
+        key_claims = [
+            ticket for namespace, filename in store.backend.iter()
+            if (ticket := store.backend.claim_info(namespace, filename)) is not None
+        ]
+        assert key_claims == []  # no wedged addresses anywhere
+        entry = produce_into(store, "demo", {"x": 2}, lambda *, x: {"value": x})
+        assert entry.payload == {"value": 2}
+
+    def test_evict_fault_site_fires_per_evicted_entry(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        from repro.analysis.sweep import SweepResult
+        from repro.runner.cache import CacheEntry, cache_key
+
+        def entry(i):
+            return CacheEntry(
+                experiment="toy", params={}, fingerprint="f" * 64,
+                result=SweepResult(records=[{"i": i}]), elapsed_seconds=0.0,
+            )
+
+        cache.put(cache_key("toy", "{1}", "f" * 64), entry(1))
+        with injected("cache.evict:exc:match=toy"):
+            with pytest.raises(FaultInjected):
+                cache.put(cache_key("toy", "{2}", "f" * 64), entry(2))
 
 
 # -- service durability -------------------------------------------------------------

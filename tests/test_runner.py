@@ -243,8 +243,9 @@ class TestResultCache:
             assert not path.exists()  # ...and it was moved aside, not left in place
             assert quarantined.exists()
         assert cache.ls() == []  # quarantined entries are out of the listing
-        assert cache.drain_stats() == (3, 3)
-        assert cache.drain_stats() == (0, 0)  # draining resets
+        drained = cache.drain_stats()
+        assert drained["corrupt"] == 3 and drained["quarantined"] == 3
+        assert all(count == 0 for count in cache.drain_stats().values())  # draining resets
 
     def test_ls_and_clear(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -346,7 +346,7 @@ class TestMetrics:
         client.wait_for_job(submitted["job"]["id"])
         response, metrics = client.request("GET", "/v1/metrics")
         assert response.status == 200
-        assert metrics["cache"] == {"hits": 1, "misses": 1}
+        assert metrics["cache"] == {"hits": 1, "misses": 1, "warm_hits": 0}
         run_route = metrics["requests"]["by_route"]["POST /v1/experiments/{name}/run"]
         assert run_route == {"200": 1, "202": 1}
         assert metrics["jobs"]["done"] == 1 and metrics["jobs"]["in_flight"] == 0
@@ -363,6 +363,41 @@ class TestMetrics:
         time.sleep(0.02)
         _response, second = client.request("GET", "/v1/metrics")
         assert second["uptime_seconds"] >= first["uptime_seconds"]
+
+
+class TestWarmL1:
+    def test_repeat_probes_serve_from_memory_bit_identically(self, toy_runner, client):
+        toy_runner.run("toy", x=6)  # cold: populates the disk store
+        _resp, first = client.request(
+            "POST", "/v1/experiments/toy/run", body={"params": {"x": 6}}
+        )
+        _resp, second = client.request(
+            "POST", "/v1/experiments/toy/run", body={"params": {"x": 6}}
+        )
+        assert json.dumps(first["rows"]) == json.dumps(second["rows"])
+        assert first["key"] == second["key"]
+        _resp, metrics = client.request("GET", "/v1/metrics")
+        # First probe hit the disk store (and populated the L1); the
+        # second was served from memory without a disk read.
+        assert metrics["cache"] == {"hits": 2, "misses": 0, "warm_hits": 1}
+
+    def test_zero_budget_disables_the_memory_layer(self, toy_runner, monkeypatch):
+        from repro.service.routes import build_app as build
+
+        monkeypatch.setenv("REPRO_WARM_CACHE_BYTES", "0")
+        app = build(toy_runner)
+        try:
+            assert app.warm_cache is None
+        finally:
+            app.close()
+
+    def test_metrics_expose_persisted_store_counters(self, toy_runner, client):
+        toy_runner.run("toy", x=11)  # one cold fill: a miss + a won claim
+        _resp, metrics = client.request("GET", "/v1/metrics")
+        stores = metrics["stores"]
+        assert stores["root"] == str(toy_runner.cache.root)
+        assert stores["result_misses"] == 1
+        assert stores["result_claims"] == 1
 
 
 #: Reduced-but-real workloads for the capstone diff (CLI vs HTTP) below.
