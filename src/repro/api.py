@@ -30,7 +30,9 @@ body.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Mapping, Sequence
 
 from .analysis.sweep import SweepResult, sweep_grid
@@ -82,17 +84,38 @@ def make_runner(
     cache_dir: str | None = None,
     use_cache: bool = True,
     cache_max_bytes: int | None = None,
+    store_url: str | None = None,
     runner: ExperimentRunner | None = None,
 ) -> ExperimentRunner:
     """The runner a facade call should use (an explicit one wins).
 
     ``cache_max_bytes`` bounds the result cache with LRU eviction
-    (default ``$REPRO_CACHE_MAX_BYTES``, else unbounded).
+    (default ``$REPRO_CACHE_MAX_BYTES``, else unbounded).  ``store_url``
+    (default ``$REPRO_STORE_URL``) tiers both stores onto a shared
+    networked store server: writes go through the local disk first, reads
+    fall back to the remote, and the runner degrades to local-only while
+    the server is unreachable.  The networked backend is imported lazily
+    so local-only runners never construct (or fingerprint) it.
     """
     if runner is not None:
         return runner
-    cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
-    return ExperimentRunner(cache=cache, use_cache=use_cache)
+    if store_url is None:
+        store_url = os.environ.get("REPRO_STORE_URL") or None
+    if store_url is None:
+        cache = ResultCache(cache_dir, max_bytes=cache_max_bytes)
+        return ExperimentRunner(cache=cache, use_cache=use_cache)
+    from .runner.artifacts import ArtifactStore
+    from .runner.cache import default_cache_root
+    from .runner.netstore import ARTIFACT_SUBROOT, make_store_backend
+
+    root = Path(cache_dir) if cache_dir is not None else default_cache_root()
+    cache = ResultCache(
+        backend=make_store_backend(root, store_url), max_bytes=cache_max_bytes
+    )
+    artifacts = ArtifactStore(
+        backend=make_store_backend(root / "artifacts", store_url, subroot=ARTIFACT_SUBROOT)
+    )
+    return ExperimentRunner(cache=cache, use_cache=use_cache, artifacts=artifacts)
 
 
 def list_experiments(*, runner: ExperimentRunner | None = None) -> list[dict[str, object]]:
@@ -365,6 +388,7 @@ def serve(
     max_queue: int = 64,
     drain_seconds: float = 10.0,
     state_dir: str | None = None,
+    store_url: str | None = None,
 ) -> int:
     """Serve the reproduction over HTTP (blocks until interrupted).
 
@@ -374,11 +398,15 @@ def serve(
     with 503/``overloaded``), ``drain_seconds`` is how long shutdown waits
     for in-flight jobs, and ``state_dir`` is where job records are
     journaled so they survive a restart (default ``<cache root>/jobs``).
-    The service layer is imported lazily so library users never pay for it.
+    ``store_url`` (default ``$REPRO_STORE_URL``) tiers the service's
+    stores onto a shared networked store server.  The service layer is
+    imported lazily so library users never pay for it.
     """
     from .service import build_app, serve_forever
 
-    runner = make_runner(cache_dir=cache_dir, cache_max_bytes=cache_max_bytes)
+    runner = make_runner(
+        cache_dir=cache_dir, cache_max_bytes=cache_max_bytes, store_url=store_url
+    )
     app = build_app(
         runner=runner,
         jobs=jobs,

@@ -63,7 +63,13 @@ first-writer-wins fill claim, key = experiment/artifact name -- ``kill``
 here is the claim winner dying mid-fill; losers must take over),
 ``cache.evict`` / ``artifact.evict`` (fired per entry before LRU
 eviction deletes it, key = ``namespace/filename``), ``service.job``
-(job thread, key = job id).
+(job thread, key = job id), ``net.connect`` / ``net.send`` / ``net.recv``
+(client side of the networked store, around the socket operations of one
+request; key = protocol op name -- an ``exc``/``hang`` here behaves like
+a partition/black-holed server and must be absorbed by the client's
+retries, breaker and tiered degradation), ``net.server`` (store server,
+per request before dispatch; key = op name -- an ``exc`` tears the
+connection like a crashed server).
 
 With ``REPRO_FAULTS`` unset every :func:`fault_point` is a cheap no-op.
 """

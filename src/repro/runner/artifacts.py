@@ -63,6 +63,7 @@ from .backends import (
     ClaimTicket,
     DiskBackend,
     StoreBackend,
+    claim_is_owned,
     env_max_bytes,
     evict_lru,
     wait_for_fill,
@@ -200,6 +201,7 @@ class ArtifactStore:
         self.recent_quarantined = 0
         self.recent_claims = 0
         self.recent_claim_waits = 0
+        self.recent_claim_wait_timeouts = 0
         self.recent_evictions = 0
         self.recent_evicted_bytes = 0
 
@@ -207,13 +209,15 @@ class ArtifactStore:
         """Counters tallied since the last drain; resets them.
 
         Keys: ``corrupt``, ``quarantined``, ``claims``, ``claim_waits``,
-        ``evictions``, ``evicted_bytes``.
+        ``claim_wait_timeouts``, ``evictions``, ``evicted_bytes`` -- plus
+        the backend's drained remote counters when it is networked.
         """
         drained = {
             "corrupt": self.recent_corrupt,
             "quarantined": self.recent_quarantined,
             "claims": self.recent_claims,
             "claim_waits": self.recent_claim_waits,
+            "claim_wait_timeouts": self.recent_claim_wait_timeouts,
             "evictions": self.recent_evictions,
             "evicted_bytes": self.recent_evicted_bytes,
         }
@@ -221,8 +225,12 @@ class ArtifactStore:
         self.recent_quarantined = 0
         self.recent_claims = 0
         self.recent_claim_waits = 0
+        self.recent_claim_wait_timeouts = 0
         self.recent_evictions = 0
         self.recent_evicted_bytes = 0
+        drain_remote = getattr(self.backend, "drain_remote_counters", None)
+        if drain_remote is not None:
+            drained.update(drain_remote())
         return drained
 
     @staticmethod
@@ -320,6 +328,9 @@ class ArtifactStore:
 
     def note_wait(self) -> None:
         self.recent_claim_waits += 1
+
+    def note_wait_timeout(self) -> None:
+        self.recent_claim_wait_timeouts += 1
 
     # -- bounded store ----------------------------------------------------------------
 
@@ -455,26 +466,32 @@ def produce_into(
     First-writer-wins: losing the fill claim means a concurrent producer is
     already computing this address, so wait for its entry instead of
     duplicating the work.  A stale claim (dead producer) is taken over; a
-    blown wait deadline falls back to computing -- wasteful but
-    deterministic, never corrupting.
+    blown wait deadline falls back to computing *uncached* -- wasteful but
+    deterministic, never corrupting, and never touching the claim some
+    live producer still owns.
     """
     if fingerprint is None:
         fingerprint = code_fingerprint(producer.__module__)
     if key is None:
         key = artifact_key(artifact, params, fingerprint)
-    if not store.claim(artifact, key):
+    owns_claim = store.claim(artifact, key)
+    if not owns_claim:
         store.note_wait()
         entry = wait_for_fill(store, artifact, key)
         if entry is not None:
             return entry
-        # We now own the claim (takeover) or the deadline expired: compute.
+        # Either we took the claim over (dead producer) or the wait deadline
+        # expired and someone else still owns it; only an owned claim may be
+        # released or cleared by our put.
+        owns_claim = claim_is_owned(store, artifact, key)
     try:
         with activated(store):
             start = time.perf_counter()
             payload = producer(**dict(params))
             elapsed = time.perf_counter() - start
     except BaseException:
-        store.release_claim(artifact, key)
+        if owns_claim:
+            store.release_claim(artifact, key)
         raise
     entry = ArtifactEntry(
         artifact=artifact,
@@ -484,12 +501,13 @@ def produce_into(
         elapsed_seconds=elapsed,
         provenance=_artifact_provenance(),
     )
-    try:
-        store.put(key, entry)
-    except OSError as error:  # full/read-only disk: degrade to uncached
-        store.release_claim(artifact, key)
-        logger.warning("artifact store write failed for %s (%s); continuing uncached",
-                       artifact, error)
+    if owns_claim:
+        try:
+            store.put(key, entry)
+        except OSError as error:  # full/read-only disk: degrade to uncached
+            store.release_claim(artifact, key)
+            logger.warning("artifact store write failed for %s (%s); continuing uncached",
+                           artifact, error)
     return entry
 
 
@@ -549,6 +567,10 @@ class StoreStats:
         "artifact_evictions",
         "result_evicted_bytes",
         "artifact_evicted_bytes",
+        "claim_wait_timeouts",
+        "remote_hits",
+        "remote_errors",
+        "breaker_opens",
     )
 
     result_hits: int = 0
@@ -573,6 +595,15 @@ class StoreStats:
     artifact_evictions: int = 0
     result_evicted_bytes: int = 0
     artifact_evicted_bytes: int = 0
+    #: Fill waits that exhausted the hard deadline and computed uncached
+    #: (both stores combined).
+    claim_wait_timeouts: int = 0
+    #: Networked-store traffic (both stores combined): entries served by
+    #: the remote tier, operations that exhausted their retries, and times
+    #: the circuit breaker opened (degradation to local-only).
+    remote_hits: int = 0
+    remote_errors: int = 0
+    breaker_opens: int = 0
 
     def to_document(self) -> dict[str, int]:
         return {name: getattr(self, name) for name in self.FIELDS}

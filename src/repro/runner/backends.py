@@ -57,7 +57,9 @@ DEFAULT_CLAIM_WAIT_SECONDS = 600.0
 ENV_CLAIM_TTL = "REPRO_CLAIM_TTL_SECONDS"
 DEFAULT_CLAIM_TTL_SECONDS = 900.0
 
-#: Poll interval of :func:`wait_for_fill`.
+#: Poll interval of :func:`wait_for_fill` (override via the environment so
+#: claim-contention tests and chaos runs don't sleep full 50 ms ticks).
+ENV_CLAIM_POLL = "REPRO_CLAIM_POLL_SECONDS"
 CLAIM_POLL_SECONDS = 0.05
 
 #: Directory names under a store root that iteration/eviction must never
@@ -86,6 +88,12 @@ def claim_wait_seconds() -> float:
 def claim_ttl_seconds() -> float:
     """Age past which any claim is treated as abandoned."""
     return _env_seconds(ENV_CLAIM_TTL, DEFAULT_CLAIM_TTL_SECONDS)
+
+
+def claim_poll_seconds() -> float:
+    """Poll interval of :func:`wait_for_fill` (``$REPRO_CLAIM_POLL_SECONDS``)."""
+    interval = _env_seconds(ENV_CLAIM_POLL, CLAIM_POLL_SECONDS)
+    return interval if interval > 0 else CLAIM_POLL_SECONDS
 
 
 def env_max_bytes(name: str) -> int | None:
@@ -164,7 +172,7 @@ class StoreBackend(Protocol):
 
     def touch(self, namespace: str, filename: str) -> None: ...
 
-    def claim(self, namespace: str, filename: str) -> bool: ...
+    def claim(self, namespace: str, filename: str, *, owner: ClaimTicket | None = None) -> bool: ...
 
     def claim_info(self, namespace: str, filename: str) -> ClaimTicket | None: ...
 
@@ -282,7 +290,7 @@ class DiskBackend:
             pass
         return EntryStat(size_bytes=stamp.st_size, accessed_unix=accessed)
 
-    def claim(self, namespace: str, filename: str) -> bool:
+    def claim(self, namespace: str, filename: str, *, owner: ClaimTicket | None = None) -> bool:
         token = self._sidecar(namespace, filename, "claim")
         try:
             token.parent.mkdir(parents=True, exist_ok=True)
@@ -293,7 +301,13 @@ class DiskBackend:
             # A store that cannot even create the ticket cannot coordinate;
             # pretend we won so work proceeds (the write degrades later).
             return True
-        ticket = {"pid": os.getpid(), "host": _HOST, "created_unix": round(time.time(), 3)}
+        # ``owner`` lets a store *server* record the claiming client's
+        # identity instead of its own, so staleness probing sees the real
+        # owner.
+        if owner is not None:
+            ticket = {"pid": owner.pid, "host": owner.host, "created_unix": owner.created_unix}
+        else:
+            ticket = {"pid": os.getpid(), "host": _HOST, "created_unix": round(time.time(), 3)}
         with os.fdopen(descriptor, "w") as handle:
             handle.write(json.dumps(ticket))
         return True
@@ -426,11 +440,11 @@ class MemoryBackend:
                 accessed_unix=self._accessed.get((namespace, filename), 0.0),
             )
 
-    def claim(self, namespace: str, filename: str) -> bool:
+    def claim(self, namespace: str, filename: str, *, owner: ClaimTicket | None = None) -> bool:
         with self._lock:
             if (namespace, filename) in self._claims:
                 return False
-            self._claims[(namespace, filename)] = ClaimTicket(
+            self._claims[(namespace, filename)] = owner if owner is not None else ClaimTicket(
                 pid=os.getpid(), host=_HOST, created_unix=round(time.time(), 3)
             )
             return True
@@ -496,7 +510,18 @@ def evict_lru(
     return evicted, freed
 
 
-def wait_for_fill(store, namespace: str, key: str, *, poll_seconds: float = CLAIM_POLL_SECONDS):
+def claim_is_owned(store, namespace: str, key: str) -> bool:
+    """Whether the current ticket on ``(namespace, key)`` belongs to *us*.
+
+    Callers that got ``None`` from :func:`wait_for_fill` use this to tell
+    a takeover (we own the claim; release/fill it) from a deadline expiry
+    (someone else still owns it; compute without touching the claim).
+    """
+    ticket = store.claim_info(namespace, key)
+    return ticket is not None and ticket.pid == os.getpid() and ticket.host == _HOST
+
+
+def wait_for_fill(store, namespace: str, key: str, *, poll_seconds: float | None = None):
     """Poll until a concurrent filler's entry lands, or the caller must compute.
 
     ``store`` is a :class:`~repro.runner.cache.ResultCache` /
@@ -507,7 +532,12 @@ def wait_for_fill(store, namespace: str, key: str, *, poll_seconds: float = CLAI
     claim (the previous winner died or released without filling) or the
     wait deadline (``$REPRO_CLAIM_WAIT_SECONDS``) expired, in which case
     the duplicate fill is wasteful but deterministic, never corrupting.
+    Deadline expiries tally the store's ``note_wait_timeout`` counter when
+    it has one; :func:`claim_is_owned` distinguishes the two ``None``
+    cases for the caller.
     """
+    if poll_seconds is None:
+        poll_seconds = claim_poll_seconds()
     deadline = time.monotonic() + claim_wait_seconds()
     ttl = claim_ttl_seconds()
     while True:
@@ -537,5 +567,12 @@ def wait_for_fill(store, namespace: str, key: str, *, poll_seconds: float = CLAI
                 store.release_claim(namespace, key)
                 return entry
         if time.monotonic() >= deadline:
+            # Hard-deadline exhaustion: degrade to computing locally rather
+            # than raising or spinning forever.  The caller does NOT own the
+            # claim here -- its result lands uncached (the winner's entry,
+            # whenever it arrives, stays authoritative).
+            note_timeout = getattr(store, "note_wait_timeout", None)
+            if note_timeout is not None:
+                note_timeout()
             return None
         time.sleep(poll_seconds)

@@ -201,6 +201,7 @@ class ResultCache:
         self.recent_quarantined = 0
         self.recent_claims = 0
         self.recent_claim_waits = 0
+        self.recent_claim_wait_timeouts = 0
         self.recent_evictions = 0
         self.recent_evicted_bytes = 0
 
@@ -208,14 +209,18 @@ class ResultCache:
         """Counters tallied since the last drain; resets them.
 
         Keys: ``corrupt``, ``quarantined``, ``claims`` (fill claims won),
-        ``claim_waits`` (fills lost to a concurrent winner), ``evictions``
-        and ``evicted_bytes``.
+        ``claim_waits`` (fills lost to a concurrent winner),
+        ``claim_wait_timeouts`` (waits that exhausted the deadline and
+        degraded to local compute), ``evictions`` and ``evicted_bytes`` --
+        plus, when the backend is networked, its drained remote counters
+        (``remote_hits``/``remote_errors``/``breaker_opens``).
         """
         drained = {
             "corrupt": self.recent_corrupt,
             "quarantined": self.recent_quarantined,
             "claims": self.recent_claims,
             "claim_waits": self.recent_claim_waits,
+            "claim_wait_timeouts": self.recent_claim_wait_timeouts,
             "evictions": self.recent_evictions,
             "evicted_bytes": self.recent_evicted_bytes,
         }
@@ -223,8 +228,12 @@ class ResultCache:
         self.recent_quarantined = 0
         self.recent_claims = 0
         self.recent_claim_waits = 0
+        self.recent_claim_wait_timeouts = 0
         self.recent_evictions = 0
         self.recent_evicted_bytes = 0
+        drain_remote = getattr(self.backend, "drain_remote_counters", None)
+        if drain_remote is not None:
+            drained.update(drain_remote())
         return drained
 
     @staticmethod
@@ -331,6 +340,10 @@ class ResultCache:
     def note_wait(self) -> None:
         """Tally one fill lost to a concurrent winner (for the drained stats)."""
         self.recent_claim_waits += 1
+
+    def note_wait_timeout(self) -> None:
+        """Tally one wait that exhausted its deadline and computed locally."""
+        self.recent_claim_wait_timeouts += 1
 
     # -- bounded store ----------------------------------------------------------------
 

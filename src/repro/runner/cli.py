@@ -11,6 +11,8 @@ Subcommands
 ``serve``   the HTTP/JSON service over the same runner (``repro.api.serve``)
 ``cache``   ``ls`` / ``clear`` / ``stats`` over the content-addressed result
             cache and artifact store (``clear`` resets the hit/miss counters)
+``store``   ``serve`` a store root over TCP so a fleet of runners can share
+            one cache (clients connect via ``--store-url``/``$REPRO_STORE_URL``)
 ``list``    show registered experiments and their parameter schemas
 
 The CLI is a thin renderer over :mod:`repro.api`, so validation and the
@@ -81,6 +83,16 @@ def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
             "result-cache size budget in bytes; least-recently-used entries are "
             "evicted past it (default: $REPRO_CACHE_MAX_BYTES, else unbounded; "
             "the artifact store has its own $REPRO_ARTIFACTS_MAX_BYTES budget)"
+        ),
+    )
+    parser.add_argument(
+        "--store-url",
+        metavar="URL",
+        default=None,
+        help=(
+            "shared networked store server (tcp://host:port; default: $REPRO_STORE_URL); "
+            "both stores tier onto it write-through and degrade to local disk when it "
+            "is unreachable"
         ),
     )
 
@@ -215,14 +227,46 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--json", action="store_true", help="emit the summary as JSON")
     _add_cache_arguments(cache_stats)
 
+    store_parser = subparsers.add_parser(
+        "store", help="the shared networked store (server side of --store-url)"
+    )
+    store_subparsers = store_parser.add_subparsers(dest="store_command", required=True)
+    store_serve = store_subparsers.add_parser(
+        "serve", help="serve a store root over TCP for a fleet of runners"
+    )
+    store_serve.add_argument(
+        "--host", default="127.0.0.1", metavar="HOST", help="bind address (default 127.0.0.1)"
+    )
+    store_serve.add_argument(
+        "--port", type=int, default=8484, metavar="PORT", help="bind port (default 8484; 0 = ephemeral)"
+    )
+    store_serve.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="store root directory to serve (default: <cache root>/store)",
+    )
+    store_serve.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte budget per served store; LRU entries are evicted past it (default: unbounded)",
+    )
+
     subparsers.add_parser("list", help="list experiments and their parameters")
     return parser
 
 
 def _make_runner(args: argparse.Namespace) -> ExperimentRunner:
-    cache_dir = getattr(args, "cache_dir", None)
-    cache = ResultCache(cache_dir, max_bytes=getattr(args, "cache_max_bytes", None))
-    return ExperimentRunner(cache=cache, use_cache=not getattr(args, "no_cache", False))
+    # Delegates to the facade so --store-url / $REPRO_STORE_URL tiering is
+    # wired exactly the way library users and the HTTP service get it.
+    return _api().make_runner(
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        cache_max_bytes=getattr(args, "cache_max_bytes", None),
+        store_url=getattr(args, "store_url", None),
+    )
 
 
 def _resolve_targets(runner: ExperimentRunner, targets: list[str]) -> list[str]:
@@ -384,14 +428,38 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         drain_seconds=args.drain_seconds,
         state_dir=args.state_dir,
+        store_url=args.store_url,
     )
 
 
-def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, object]:
+def _command_store(args: argparse.Namespace) -> int:
+    from .netstore import serve_store
+
+    root = Path(args.root) if args.root else default_cache_root() / "store"
+    return serve_store(host=args.host, port=args.port, root=root, max_bytes=args.max_bytes)
+
+
+def _cache_stats_summary(
+    cache: ResultCache, store: ArtifactStore, *, store_url: str | None = None
+) -> dict[str, object]:
     """Entry counts, bytes, hit/miss counters and corruption/recovery tallies."""
     result_entries = cache.ls()
     artifact_entries = store.ls()
     counters = load_stats(cache.root)
+    remote: dict[str, object] = {
+        "hits": counters.remote_hits,
+        "errors": counters.remote_errors,
+        "breaker_opens": counters.breaker_opens,
+    }
+    if store_url:
+        # Live probe of the shared store (lazy import: local-only commands
+        # never load the networked backend).
+        from .netstore import RemoteBackend
+
+        probe = RemoteBackend(store_url, retries=0)
+        remote["url"] = store_url
+        remote["reachable"] = probe.ping() is not None
+        probe.close()
     return {
         "cache_root": str(cache.root),
         "results": {
@@ -421,7 +489,9 @@ def _cache_stats_summary(cache: ResultCache, store: ArtifactStore) -> dict[str, 
         "recovery": {
             "quarantined": counters.quarantined,
             "retried": counters.retried,
+            "claim_wait_timeouts": counters.claim_wait_timeouts,
         },
+        "remote": remote,
     }
 
 
@@ -440,7 +510,7 @@ def _command_cache(args: argparse.Namespace) -> int:
             print(format_table(artifact_listing, title=f"artifact store at {store.root}"))
         return 0
     if args.cache_command == "stats":
-        summary = _cache_stats_summary(cache, store)
+        summary = _cache_stats_summary(cache, store, store_url=getattr(args, "store_url", None))
         if args.json:
             print(json.dumps(summary, indent=1))
             return 0
@@ -463,7 +533,19 @@ def _command_cache(args: argparse.Namespace) -> int:
         recovery = summary["recovery"]
         print(
             f"recovery: {recovery['retried']} unit retr{'y' if recovery['retried'] == 1 else 'ies'}, "
-            f"{recovery['quarantined']} quarantined entr{'y' if recovery['quarantined'] == 1 else 'ies'}",
+            f"{recovery['quarantined']} quarantined entr{'y' if recovery['quarantined'] == 1 else 'ies'}, "
+            f"{recovery['claim_wait_timeouts']} claim-wait timeout(s)",
+            file=sys.stderr,
+        )
+        remote = summary["remote"]
+        print(
+            f"remote store: {remote['hits']} hit(s), {remote['errors']} error(s), "
+            f"{remote['breaker_opens']} breaker open(s)"
+            + (
+                f", {remote['url']} {'reachable' if remote.get('reachable') else 'UNREACHABLE'}"
+                if "url" in remote
+                else ""
+            ),
             file=sys.stderr,
         )
         return 0
@@ -506,6 +588,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _command_sweep,
         "serve": _command_serve,
         "cache": _command_cache,
+        "store": _command_store,
         "list": _command_list,
     }
     try:

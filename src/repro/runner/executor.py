@@ -392,22 +392,41 @@ def parallel_sweep(
     return SweepResult(records=records)
 
 
+def _build_artifact_store(store_root: str, store_url: str | None):
+    """Rebuild a worker's artifact store: tiered onto ``store_url`` when set.
+
+    The netstore import stays inside this function (and this module) so
+    the networked backend never enters the drivers' static import closure
+    -- driver fingerprints are identical with and without a shared store.
+    """
+    from .artifacts import ArtifactStore
+
+    if store_url is None:
+        return ArtifactStore(store_root)
+    from .netstore import ARTIFACT_SUBROOT, make_store_backend
+
+    return ArtifactStore(
+        backend=make_store_backend(store_root, store_url, subroot=ARTIFACT_SUBROOT)
+    )
+
+
 def _produce_artifact(
-    task: tuple[str, str, dict[str, object], str, str, str],
+    task: tuple[str, str, dict[str, object], str, str, str, str | None],
 ) -> tuple[str, float, dict[str, int]]:
     """Worker body: compute one artifact unit and persist it into the store.
 
     The store is activated around the producer call so producers that
     themselves resolve earlier-wave artifacts (``after`` dependencies) hit
     the entries those waves already wrote.  The worker store's drained
-    counters (claims, claim waits, corruption, evictions) travel back with
-    the result so the parent can fold them into the persisted stats.
+    counters (claims, claim waits, corruption, evictions, remote traffic)
+    travel back with the result so the parent can fold them into the
+    persisted stats.
     """
-    from .artifacts import ArtifactStore, load_producer, produce_into
+    from .artifacts import load_producer, produce_into
 
-    artifact, producer_path, params, key, fingerprint, store_root = task
+    artifact, producer_path, params, key, fingerprint, store_root, store_url = task
     fault_point("executor.artifact", key=artifact)
-    store = ArtifactStore(store_root)
+    store = _build_artifact_store(store_root, store_url)
     entry = produce_into(
         store,
         artifact,
@@ -420,7 +439,7 @@ def _produce_artifact(
 
 
 def produce_artifacts(
-    tasks: list[tuple[str, str, dict[str, object], str, str, str]],
+    tasks: list[tuple[str, str, dict[str, object], str, str, str, str | None]],
     *,
     jobs: int | None = None,
     policy: ExecutionPolicy | None = None,
@@ -429,11 +448,11 @@ def produce_artifacts(
     """Produce artifact units (optionally in parallel); results in input order.
 
     Each task is ``(artifact, producer path, params, key, fingerprint,
-    store root)``.  Units inside one call must be independent -- the service
-    slices the DAG into topological waves and makes one call per wave.
-    Units that already persisted their entry before a crash are naturally
-    skipped on retry (the store is content-addressed), so a recovered wave
-    never recomputes finished work.
+    store root, store url)``.  Units inside one call must be independent --
+    the service slices the DAG into topological waves and makes one call
+    per wave.  Units that already persisted their entry before a crash are
+    naturally skipped on retry (the store is content-addressed), so a
+    recovered wave never recomputes finished work.
     """
     return _run_resilient(
         tasks, _produce_artifact, jobs=jobs, policy=policy, outcome=outcome, label="artifact"
@@ -441,7 +460,7 @@ def produce_artifacts(
 
 
 def _execute_request(
-    task: tuple[str, dict[str, object], str | None],
+    task: tuple[str, dict[str, object], str | None, str | None],
     registry: Mapping[str, object] | None = None,
 ) -> tuple[list[dict[str, object]], float]:
     """Worker body: run one experiment with a canonical config.
@@ -450,15 +469,18 @@ def _execute_request(
     own module state; rows are sanitised before crossing the process
     boundary so the parent sees exactly what the cache would store.  The
     artifact store root (``None`` = reuse disabled) is activated around the
-    run so driver resolvers load the pre-produced intermediates.
+    run so driver resolvers load the pre-produced intermediates; with a
+    store URL the store tiers onto the shared networked one.
     """
-    from .artifacts import ArtifactStore, activated
+    from .artifacts import activated
     from .registry import build_registry
 
-    name, config, artifacts_root = task
+    name, config, artifacts_root, store_url = task
     fault_point("executor.unit", key=name)
     spec = (registry if registry is not None else build_registry())[name]
-    store = ArtifactStore(artifacts_root) if artifacts_root is not None else None
+    store = (
+        _build_artifact_store(artifacts_root, store_url) if artifacts_root is not None else None
+    )
     with activated(store):
         start = time.perf_counter()
         rows = spec.execute(config)
@@ -474,6 +496,7 @@ def execute_requests(
     registry: Mapping[str, object] | None = None,
     policy: ExecutionPolicy | None = None,
     outcome: ExecutionOutcome | None = None,
+    store_url: str | None = None,
 ) -> list[tuple[list[dict[str, object]], float]]:
     """Run experiment requests, optionally in parallel; results in input order.
 
@@ -483,7 +506,7 @@ def execute_requests(
     the canonical registry -- custom specs are not shipped across the
     process boundary.
     """
-    tasks = [(name, config, artifacts_root) for name, config in requests]
+    tasks = [(name, config, artifacts_root, store_url) for name, config in requests]
     return _run_resilient(
         tasks,
         _execute_request,

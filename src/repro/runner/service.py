@@ -41,7 +41,7 @@ from .artifacts import (
     produce_into,
     record_stats,
 )
-from .backends import MemoryBackend, wait_for_fill
+from .backends import MemoryBackend, claim_is_owned, wait_for_fill
 from .cache import CacheEntry, ResultCache, cache_key, run_provenance
 from .errors import UnknownExperimentError
 from .executor import ExecutionOutcome, ExecutionPolicy, execute_requests, produce_artifacts
@@ -126,7 +126,9 @@ class ArtifactUnit:
     fingerprint: str
     level: int
 
-    def task(self, store_root: str) -> tuple[str, str, dict[str, object], str, str, str]:
+    def task(
+        self, store_root: str, store_url: str | None = None
+    ) -> tuple[str, str, dict[str, object], str, str, str, str | None]:
         return (
             self.artifact,
             self.producer,
@@ -134,6 +136,7 @@ class ArtifactUnit:
             self.key,
             self.fingerprint,
             store_root,
+            store_url,
         )
 
 
@@ -168,6 +171,14 @@ class ExperimentRunner:
             # keep the artifact store ephemeral too.
             self.artifacts = ArtifactStore(backend=MemoryBackend())
         self.use_artifacts = use_cache if use_artifacts is None else use_artifacts
+
+    def _store_url(self) -> str | None:
+        """The networked-store URL workers should tier onto, if any.
+
+        A tiered/remote artifact backend exposes ``url``; plain disk and
+        memory backends do not, and workers then rebuild a local store.
+        """
+        return getattr(self.artifacts.backend, "url", None)
 
     def spec(self, name: str) -> ExperimentSpec:
         try:
@@ -285,6 +296,7 @@ class ExperimentRunner:
         """Produce the missing units, one wave per topological level."""
         stats = StoreStats()
         store_root = str(self.artifacts.root) if self.artifacts.root is not None else None
+        store_url = self._store_url()
         levels = sorted({unit.level for unit in units})
         for level in levels:
             wave = [unit for unit in units if unit.level == level]
@@ -317,14 +329,14 @@ class ExperimentRunner:
                     )
             elif missing:
                 produced = produce_artifacts(
-                    [unit.task(store_root) for unit in missing],
+                    [unit.task(store_root, store_url) for unit in missing],
                     jobs=jobs,
                     policy=policy,
                     outcome=outcome,
                 )
                 # Fold worker-side store telemetry (claims won/lost against
-                # concurrent fillers, corruption, evictions) into the stats
-                # the parent persists.
+                # concurrent fillers, corruption, evictions, remote traffic)
+                # into the stats the parent persists.
                 for produced_unit in produced:
                     drained = produced_unit[2] if len(produced_unit) > 2 else {}
                     stats.artifact_claims += drained.get("claims", 0)
@@ -333,6 +345,10 @@ class ExperimentRunner:
                     stats.quarantined += drained.get("quarantined", 0)
                     stats.artifact_evictions += drained.get("evictions", 0)
                     stats.artifact_evicted_bytes += drained.get("evicted_bytes", 0)
+                    stats.claim_wait_timeouts += drained.get("claim_wait_timeouts", 0)
+                    stats.remote_hits += drained.get("remote_hits", 0)
+                    stats.remote_errors += drained.get("remote_errors", 0)
+                    stats.breaker_opens += drained.get("breaker_opens", 0)
             if observer is not None:
                 observer({"event": "artifact_wave_done", "level": level, "produced": len(missing)})
         return stats
@@ -353,8 +369,8 @@ class ExperimentRunner:
         Normally the winner's entry lands and this is a (slightly delayed)
         cache hit.  If the winner died, :func:`wait_for_fill` hands us its
         claim and we compute; if the wait deadline expired we compute
-        without a claim -- duplicated work, but deterministic and atomically
-        written, so correctness never depends on the winner.
+        *without* a claim -- duplicated, uncached work, but deterministic
+        and never touching the claim the (slow, live) winner still owns.
         """
         start = time.perf_counter()
         entry = wait_for_fill(self.cache, name, key)
@@ -369,6 +385,7 @@ class ExperimentRunner:
                 key=key,
                 fingerprint=entry.fingerprint,
             )
+        owns_claim = claim_is_owned(self.cache, name, key)
         artifacts_root = (
             str(self.artifacts.root)
             if self.use_artifacts and self.artifacts.root is not None
@@ -382,27 +399,30 @@ class ExperimentRunner:
                 registry=self.registry,
                 policy=policy,
                 outcome=outcome,
+                store_url=self._store_url() if self.use_artifacts else None,
             )
         except BaseException:
-            self.cache.release_claim(name, key)
+            if owns_claim:
+                self.cache.release_claim(name, key)
             raise
-        try:
-            self.cache.put(
-                key,
-                CacheEntry(
-                    experiment=name,
-                    params=json.loads(self.spec(name).canonical_json(config)),
-                    fingerprint=fingerprint,
-                    result=SweepResult(records=rows),
-                    elapsed_seconds=elapsed,
-                    provenance=run_provenance(),
-                ),
-            )
-        except OSError as error:  # full/read-only disk: serve uncached
-            self.cache.release_claim(name, key)
-            logger.warning(
-                "result cache write failed for %s (%s); continuing uncached", name, error
-            )
+        if owns_claim:
+            try:
+                self.cache.put(
+                    key,
+                    CacheEntry(
+                        experiment=name,
+                        params=json.loads(self.spec(name).canonical_json(config)),
+                        fingerprint=fingerprint,
+                        result=SweepResult(records=rows),
+                        elapsed_seconds=elapsed,
+                        provenance=run_provenance(),
+                    ),
+                )
+            except OSError as error:  # full/read-only disk: serve uncached
+                self.cache.release_claim(name, key)
+                logger.warning(
+                    "result cache write failed for %s (%s); continuing uncached", name, error
+                )
         return RunReport(
             name=name,
             rows=rows,
@@ -525,6 +545,7 @@ class ExperimentRunner:
                         registry=self.registry,
                         policy=policy,
                         outcome=outcome,
+                        store_url=self._store_url() if self.use_artifacts else None,
                     )
                     for (index, name, config, key), (rows, elapsed) in zip(owned, results):
                         spec = self.spec(name)
@@ -595,6 +616,11 @@ class ExperimentRunner:
         stats.artifact_claim_waits += artifact_drained["claim_waits"]
         stats.artifact_evictions += artifact_drained["evictions"]
         stats.artifact_evicted_bytes += artifact_drained["evicted_bytes"]
+        for drained in (result_drained, artifact_drained):
+            stats.claim_wait_timeouts += drained.get("claim_wait_timeouts", 0)
+            stats.remote_hits += drained.get("remote_hits", 0)
+            stats.remote_errors += drained.get("remote_errors", 0)
+            stats.breaker_opens += drained.get("breaker_opens", 0)
         stats.retried += outcome.retries
         if (self.use_cache or self.use_artifacts) and self.cache.root is not None:
             try:

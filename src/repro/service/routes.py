@@ -93,6 +93,8 @@ class ServiceApp:
             (method, template, _compile(template), handler)
             for method, template, handler in (
                 ("GET", "/v1/health", self.get_health),
+                ("GET", "/v1/health/live", self.get_health_live),
+                ("GET", "/v1/health/ready", self.get_health_ready),
                 ("GET", "/v1/experiments", self.get_experiments),
                 ("GET", "/v1/metrics", self.get_metrics),
                 ("POST", "/v1/experiments/{name}/run", self.post_run),
@@ -138,8 +140,12 @@ class ServiceApp:
         try:
             route, handler, path_params = self._match(request)
             # Bound-method equality (not identity: each attribute access
-            # builds a fresh method object) keeps /v1/health exempt.
-            if self.limiter is not None and handler != self.get_health:
+            # builds a fresh method object) keeps the health probes exempt.
+            if self.limiter is not None and handler not in (
+                self.get_health,
+                self.get_health_live,
+                self.get_health_ready,
+            ):
                 retry_after = self.limiter.check(request.client)
                 if retry_after > 0:
                     raise ServiceError(
@@ -165,6 +171,28 @@ class ServiceApp:
     async def get_health(self, request: Request, _params: dict[str, str]) -> Response:
         return Response(200, {"status": "ok", "request_id": request.request_id})
 
+    async def get_health_live(self, request: Request, _params: dict[str, str]) -> Response:
+        """Liveness: the process is up and serving its event loop.  Nothing else."""
+        return Response(200, {"status": "ok", "request_id": request.request_id})
+
+    async def get_health_ready(self, request: Request, _params: dict[str, str]) -> Response:
+        """Readiness: liveness plus store-backend reachability.
+
+        A tiered store with its circuit open (or an unreachable server)
+        reports ``degraded`` -- still HTTP 200, because a degraded service
+        keeps answering from the local tier; degraded is not dead.  Plain
+        local backends are always ``ready``.
+        """
+        body: dict[str, object] = {"status": "ready", "request_id": request.request_id}
+        probe = getattr(self.runner.cache.backend, "health", None)
+        if probe is not None:
+            # The probe talks TCP (when the breaker allows): off the loop.
+            health = await asyncio.get_running_loop().run_in_executor(None, probe)
+            body["store_backend"] = health
+            if not health.get("reachable") or health.get("breaker_state") != "closed":
+                body["status"] = "degraded"
+        return Response(200, body)
+
     async def get_experiments(self, request: Request, _params: dict[str, str]) -> Response:
         listing = await asyncio.get_running_loop().run_in_executor(
             None, lambda: api.list_experiments(runner=self.runner)
@@ -180,6 +208,11 @@ class ServiceApp:
             # request counters above.
             stats = await asyncio.get_running_loop().run_in_executor(None, lambda: load_stats(root))
             snapshot["stores"] = {"root": str(root), **stats.to_document()}
+        status = getattr(self.runner.cache.backend, "remote_status", None)
+        if status is not None:
+            # Live networked-store gauges (no TCP probe): breaker state,
+            # degraded wall-clock, cumulative remote traffic.
+            snapshot["store_backend"] = status()
         return Response(200, snapshot)
 
     def _warm_lookup(self, name: str, params: dict[str, object] | None) -> tuple[RunReport | None, bool]:

@@ -658,7 +658,7 @@ class TestCliStats:
         summary = self._stats(tmp_path, capsys)
         assert summary["results"] == self.EMPTY_SECTION
         assert summary["artifacts"] == self.EMPTY_SECTION
-        assert summary["recovery"] == {"quarantined": 0, "retried": 0}
+        assert summary["recovery"] == {"quarantined": 0, "retried": 0, "claim_wait_timeouts": 0}
 
     def test_cache_ls_lists_artifacts(self, tmp_path, capsys):
         main(

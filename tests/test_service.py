@@ -137,6 +137,63 @@ class TestBasics:
         assert "GET, POST" in document["error"]["message"]
 
 
+class TestHealthSplit:
+    def test_liveness_is_ok_without_probing_anything(self, client):
+        response, document = client.request("GET", "/v1/health/live")
+        assert response.status == 200
+        assert document["status"] == "ok"
+
+    def test_readiness_with_a_local_backend_is_ready(self, client):
+        response, document = client.request("GET", "/v1/health/ready")
+        assert response.status == 200
+        assert document["status"] == "ready"
+        assert "store_backend" not in document  # nothing remote to probe
+
+    def test_readiness_reports_degraded_when_the_store_is_gone(
+        self, tmp_path, monkeypatch
+    ):
+        import socket as socketlib
+
+        from repro.runner.netstore import make_store_backend
+
+        probe = socketlib.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_url = f"tcp://127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        runner = _toy_runner(tmp_path, monkeypatch)
+        runner.cache.backend = make_store_backend(
+            tmp_path / "tiered", dead_url, timeout=0.2, retries=0
+        )
+        with BackgroundServer(build_app(runner)) as background:
+            client = Client(background.port)
+            response, document = client.request("GET", "/v1/health/ready")
+            # Degraded, not dead: the endpoint stays 200 (the service can
+            # serve from the local tier) but readiness reports the outage.
+            assert response.status == 200
+            assert document["status"] == "degraded"
+            store = document["store_backend"]
+            assert store["backend"] == "tiered" and store["reachable"] is False
+            # Liveness is indifferent to the store.
+            response, document = client.request("GET", "/v1/health/live")
+            assert response.status == 200 and document["status"] == "ok"
+            # Metrics expose the breaker gauges without probing.
+            _response, metrics = client.request("GET", "/v1/metrics")
+            assert metrics["store_backend"]["url"] == dead_url
+            assert metrics["store_backend"]["remote_errors"] >= 1  # the failed probe
+            assert metrics["store_backend"]["breaker_state"] in (
+                "closed", "open", "half_open"
+            )
+
+    def test_health_probes_are_rate_limit_exempt(self, toy_runner):
+        app = build_app(toy_runner, rate_limit=0.001, rate_burst=1)
+        with BackgroundServer(app) as background:
+            client = Client(background.port)
+            client.request("GET", "/v1/experiments")  # burns the only token
+            for path in ("/v1/health", "/v1/health/live", "/v1/health/ready"):
+                statuses = [client.request("GET", path)[0].status for _ in range(3)]
+                assert statuses == [200] * 3, path
+
+
 class TestRunEndpoint:
     def test_warm_hit_is_bit_identical_to_runner(self, toy_runner, client):
         direct = toy_runner.run("toy", x=5)  # cold: populates the cache

@@ -46,6 +46,22 @@ def _backend(kind, tmp_path):
     return DiskBackend(tmp_path / "store") if kind == "disk" else MemoryBackend()
 
 
+@pytest.fixture(params=["disk", "memory", "remote"])
+def backend(request, tmp_path):
+    """One StoreBackend implementation per param: on-disk, in-memory, networked."""
+    if request.param != "remote":
+        yield _backend(request.param, tmp_path)
+        return
+    from repro.runner.netstore import RemoteBackend, StoreServer
+
+    with StoreServer(tmp_path / "server") as server:
+        remote = RemoteBackend(server.url)
+        try:
+            yield remote
+        finally:
+            remote.close()
+
+
 def _result_entry(experiment="toy", rows=None, pad=0):
     payload = rows if rows is not None else [{"a": 1}]
     provenance = {"pad": "x" * pad} if pad else {}
@@ -59,13 +75,11 @@ def _result_entry(experiment="toy", rows=None, pad=0):
     )
 
 
-# -- the backend contract (both implementations) ------------------------------------
+# -- the backend contract (every implementation, including over the wire) -----------
 
 
-@pytest.mark.parametrize("kind", ["disk", "memory"])
 class TestBackendContract:
-    def test_put_get_delete_round_trip(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_put_get_delete_round_trip(self, backend):
         assert backend.get("ns", "a.json") is None
         backend.put("ns", "a.json", b"payload")
         assert backend.get("ns", "a.json") == b"payload"
@@ -75,8 +89,7 @@ class TestBackendContract:
         assert backend.get("ns", "a.json") is None
         assert backend.delete("ns", "a.json") is False  # already gone
 
-    def test_iter_is_sorted_and_skips_reserved_namespaces(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_iter_is_sorted_and_skips_reserved_namespaces(self, backend):
         backend.put("beta", "2.json", b"b")
         backend.put("alpha", "1.json", b"a")
         backend.put("corrupt", "poisoned.json", b"x")
@@ -85,8 +98,7 @@ class TestBackendContract:
         assert list(backend.iter()) == [("alpha", "1.json"), ("beta", "2.json")]
         assert list(backend.iter("alpha")) == [("alpha", "1.json")]
 
-    def test_access_stamps_order_entries_and_get_refreshes(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_access_stamps_order_entries_and_get_refreshes(self, backend):
         backend.put("ns", "old.json", b"1")
         time.sleep(0.01)
         backend.put("ns", "new.json", b"2")
@@ -101,8 +113,7 @@ class TestBackendContract:
         backend.get("ns", "new.json", touch=False)
         assert backend.stat("ns", "new.json").accessed_unix == before
 
-    def test_claim_is_first_writer_wins_and_put_releases(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_claim_is_first_writer_wins_and_put_releases(self, backend):
         assert backend.claim("ns", "k.json") is True
         assert backend.claim("ns", "k.json") is False  # second claimer loses
         ticket = backend.claim_info("ns", "k.json")
@@ -113,8 +124,7 @@ class TestBackendContract:
         assert backend.claim("ns", "k.json") is True  # reclaimable afterwards
         assert backend.release("ns", "k.json") is True
 
-    def test_release_with_owner_refuses_foreign_tickets(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_release_with_owner_refuses_foreign_tickets(self, backend):
         assert backend.claim("ns", "k.json")
         stranger = ClaimTicket(pid=1, host="elsewhere", created_unix=123.0)
         assert backend.release("ns", "k.json", owner=stranger) is False
@@ -122,8 +132,7 @@ class TestBackendContract:
         mine = backend.claim_info("ns", "k.json")
         assert backend.release("ns", "k.json", owner=mine) is True
 
-    def test_quarantine_hides_the_entry(self, kind, tmp_path):
-        backend = _backend(kind, tmp_path)
+    def test_quarantine_hides_the_entry(self, backend):
         backend.put("ns", "bad.json", b"garbage")
         assert backend.quarantine("ns", "bad.json") is True
         assert backend.get("ns", "bad.json") is None
@@ -309,6 +318,65 @@ class TestConcurrentFill:
         store = ArtifactStore(root)
         entry = store.get("shared", "e" * 64)
         assert entry is not None and entry.payload == {"value": 14}
+
+
+class TestRemoteCoordination:
+    """Fleet-level claim semantics through the networked backend."""
+
+    def test_stale_claim_takeover_through_remote(self, tmp_path):
+        import repro.runner.backends as backends
+        from repro.runner.netstore import RemoteBackend, StoreServer
+
+        with StoreServer(tmp_path / "server") as server:
+            key = "b" * 64
+            # A dead client claimed the address on the server and never filled.
+            token = server.root / "toy" / f".{key}.json.claim"
+            token.parent.mkdir(parents=True)
+            token.write_text(
+                json.dumps(
+                    {"pid": _dead_pid(), "host": backends._HOST, "created_unix": time.time()}
+                )
+            )
+            cache = ResultCache(backend=RemoteBackend(server.url))
+            ticket = cache.claim_info("toy", key)
+            assert ticket is not None and ticket.is_stale()  # visible over the wire
+            assert wait_for_fill(cache, "toy", key) is None  # we must compute ...
+            ticket = cache.claim_info("toy", key)
+            assert ticket is not None and ticket.pid == os.getpid()  # ... owning the claim
+
+    def test_threads_racing_one_address_through_remote_compute_once(self, tmp_path):
+        from repro.runner.netstore import RemoteBackend, StoreServer
+
+        with StoreServer(tmp_path / "server") as server:
+            # Six contenders, each its own connection -- the claim ticket on
+            # the server arbitrates exactly-once across all of them.
+            stores = [
+                ArtifactStore(backend=RemoteBackend(server.url)) for _ in range(6)
+            ]
+            calls = []
+
+            def producer(*, x):
+                calls.append(x)
+                time.sleep(0.1)  # hold the claim long enough for losers to wait
+                return {"value": x * 2}
+
+            results = [None] * len(stores)
+
+            def fill(slot):
+                results[slot] = produce_into(stores[slot], "demo", {"x": 21}, producer)
+
+            threads = [
+                threading.Thread(target=fill, args=(slot,)) for slot in range(len(stores))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert calls == [21]  # exactly one compute, fleet-wide
+            assert all(entry.payload == {"value": 42} for entry in results)
+            drained = [store.drain_stats() for store in stores]
+            assert sum(d["claims"] for d in drained) == 1
+            assert sum(d["claim_waits"] for d in drained) == len(stores) - 1
 
 
 def _process_fill(root, side_effects):
